@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"aap/internal/algo/pagerank"
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/harness"
+	"aap/internal/partition"
+	"aap/internal/sim"
+)
+
+// BenchmarkAblationLFloor sweeps the user bound L⊥ of the AAP controller
+// (the paper lets users set it to start stale-computation reduction
+// early; Appendix B uses 60% of the worker count for CF).
+func BenchmarkAblationLFloor(b *testing.B) {
+	ds := harness.FriendsterSim(1)
+	p, err := harness.SkewPartition(ds, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		out := "PageRank on friendster-sim, 16 workers, AAP with varying L⊥\n"
+		for _, lf := range []int{0, 4, 10, 16} {
+			res, err := sim.Run(p, pagerank.Job(pagerank.Config{Tol: 1e-4}), sim.Config{Mode: core.AAP, LFloor: lf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			out += fmt.Sprintf("L⊥=%-3d time %8.2f, rounds max %d\n", lf, res.Stats.Seconds, res.Stats.MaxRound)
+		}
+		report(b, "Ablation: L⊥", out)
+	}
+}
+
+// BenchmarkAblationPartitioner compares partition strategies under AAP —
+// the Section 2 remark that strategy choice changes skew and hence AAP's
+// headroom, without affecting correctness.
+func BenchmarkAblationPartitioner(b *testing.B) {
+	ds := harness.FriendsterSim(1)
+	strategies := []partition.Strategy{
+		partition.Hash{},
+		partition.Range{},
+		partition.BFSLocality{Seed: 1},
+		partition.Skewed{Ratio: 5, Seed: 1},
+	}
+	for i := 0; i < b.N; i++ {
+		out := "SSSP on friendster-sim, 16 workers, AAP under each partitioner\n"
+		for _, s := range strategies {
+			p, err := partition.Build(ds.Graph, 16, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(p, sssp.Job(ds.Source), sim.Config{Mode: core.AAP})
+			if err != nil {
+				b.Fatal(err)
+			}
+			out += fmt.Sprintf("%-8s skew %5.2f  time %8.2f  comm %7.2f MB\n",
+				s.Name(), p.Skew(), res.Stats.Seconds, float64(res.Stats.TotalBytes)/(1<<20))
+		}
+		report(b, "Ablation: partitioner", out)
+	}
+}
+
+// BenchmarkAblationIncEval quantifies the incremental-evaluation design
+// choice: AAP with the bounded-incremental SSSP IncEval against the
+// vertex-centric label-correcting equivalent (which recomputes from
+// per-vertex messages), the Exp-1 explanation for the GRAPE+ gap.
+func BenchmarkAblationIncEval(b *testing.B) {
+	ds := harness.TrafficSim(1)
+	p, err := harness.SkewPartition(ds, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(p, sssp.Job(ds.Source), sim.Config{Mode: core.AAP})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := fmt.Sprintf("fragment-centric incremental SSSP: work %d units, %d msgs\n",
+			res.Stats.TotalWork, res.Stats.TotalMsgs)
+		report(b, "Ablation: incremental IncEval (compare vcentric rows in Table 1)", out)
+		b.ReportMetric(float64(res.Stats.TotalWork), "work-units")
+	}
+}

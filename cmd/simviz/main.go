@@ -1,0 +1,104 @@
+// Command simviz renders ASCII timing diagrams of simulated runs, the
+// tool behind Figure 1 and Figure 7: it runs one algorithm under all four
+// parallel models on a straggler-laden virtual cluster and draws each
+// schedule.
+//
+// Usage:
+//
+//	simviz -exp fig1
+//	simviz -exp fig7
+//	simviz -algo pagerank -workers 8 -straggler 3 -slow 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aap/internal/algo/cc"
+	"aap/internal/algo/pagerank"
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/harness"
+	"aap/internal/partition"
+	"aap/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "", "predefined experiment: fig1 or fig7")
+	algo := flag.String("algo", "pagerank", "algorithm for custom runs: sssp, cc, pagerank")
+	workers := flag.Int("workers", 8, "number of workers")
+	straggler := flag.Int("straggler", 0, "index of the straggler worker")
+	slow := flag.Float64("slow", 4, "straggler slowdown factor")
+	width := flag.Int("width", 72, "diagram width in columns")
+	flag.Parse()
+
+	switch *exp {
+	case "fig1":
+		out, err := harness.Fig1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	case "fig7":
+		out, err := harness.Fig7()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+
+	ds := harness.FriendsterSim(harness.Scale())
+	p, err := partition.Build(ds.Graph, *workers, partition.BFSLocality{})
+	if err != nil {
+		fatal(err)
+	}
+	speed := make([]float64, *workers)
+	for i := range speed {
+		speed[i] = 1
+	}
+	if *straggler >= 0 && *straggler < *workers {
+		speed[*straggler] = *slow
+	}
+	for _, m := range []core.Mode{core.AAP, core.BSP, core.AP, core.SSP} {
+		cfg := sim.Config{Mode: m, Speed: speed, Trace: true, Staleness: 2}
+		var trace []sim.Interval
+		var seconds float64
+		switch *algo {
+		case "sssp":
+			res, err := sim.Run(p, sssp.Job(ds.Source), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			trace, seconds = res.Trace, res.Stats.Seconds
+		case "cc":
+			res, err := sim.Run(p, cc.Job(), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			trace, seconds = res.Trace, res.Stats.Seconds
+		case "pagerank":
+			res, err := sim.Run(p, pagerank.Job(pagerank.Config{Tol: 1e-4}), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			trace, seconds = res.Trace, res.Stats.Seconds
+		default:
+			fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		}
+		fmt.Printf("== %s: makespan %.2f virtual seconds ==\n", m, seconds)
+		fmt.Print(sim.RenderTrace(trace, *workers, *width))
+		fmt.Print(sim.TraceSummary(trace, *workers))
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simviz:", err)
+	os.Exit(1)
+}

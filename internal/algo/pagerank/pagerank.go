@@ -1,0 +1,152 @@
+// Package pagerank is the PIE program for PageRank under AAP (Section 5.3
+// of the paper): the delta-accumulative formulation where every vertex
+// keeps a score P_v and a pending update x_v, PEval seeds x_v = 1-d,
+// local evaluation pushes d*x_v/N_v along out-edges, and sum is the
+// aggregate function over the deltas shipped to border vertices. The
+// fixpoint P_v = Σ_paths p(v) + (1-d) is order-independent, so PageRank
+// needs no bounded staleness (Church-Rosser holds under T1-T3).
+package pagerank
+
+import (
+	"aap/internal/core"
+	"aap/internal/graph"
+	"aap/internal/partition"
+)
+
+// Config parameterizes the PageRank job.
+type Config struct {
+	// Damping is the damping factor d; 0.85 when zero.
+	Damping float64
+	// Tol is the residual threshold below which a pending delta is
+	// parked instead of propagated; 1e-6 when zero. The total parked
+	// residual bounds the L1 error of the fixpoint.
+	Tol float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Damping == 0 {
+		c.Damping = 0.85
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-6
+	}
+	return c
+}
+
+// Job builds the PageRank PIE job.
+func Job(cfg Config) core.Job[float64] {
+	cfg = cfg.withDefaults()
+	return core.Job[float64]{
+		Name:      "pagerank",
+		New:       func(f *partition.Fragment) core.Program[float64] { return newProgram(f, cfg) },
+		Aggregate: func(a, b float64) float64 { return a + b },
+		Bytes:     func(float64) int { return 8 },
+	}
+}
+
+// program holds per-slot scores and pending deltas. Copies (F.O slots)
+// only accumulate deltas destined for other fragments.
+type program struct {
+	f   *partition.Fragment
+	g   *graph.Graph
+	cfg Config
+
+	score []float64
+	delta []float64
+	queue []int32 // owned vertices with pending delta above Tol
+	inQ   []bool
+}
+
+func newProgram(f *partition.Fragment, cfg Config) *program {
+	n := f.Slots()
+	return &program{
+		f: f, g: f.Graph(), cfg: cfg,
+		score: make([]float64, n),
+		delta: make([]float64, n),
+		inQ:   make([]bool, n),
+	}
+}
+
+// PEval seeds every owned vertex with the teleport mass 1-d and runs the
+// local push loop; accumulated copy deltas are shipped to their owners.
+func (p *program) PEval(ctx *core.Context[float64]) {
+	seed := 1 - p.cfg.Damping
+	for v := p.f.Lo; v < p.f.Hi; v++ {
+		p.add(v, seed)
+	}
+	p.push(ctx)
+	p.flush(ctx)
+}
+
+// IncEval folds incoming delta sums into owned vertices and resumes the
+// push loop.
+func (p *program) IncEval(msgs []core.VMsg[float64], ctx *core.Context[float64]) {
+	for _, m := range msgs {
+		p.add(m.V, m.Val)
+	}
+	p.push(ctx)
+	p.flush(ctx)
+}
+
+// Get returns the score of owned vertex v including its parked residual,
+// which tightens the result by the sub-threshold mass.
+func (p *program) Get(v int32) float64 {
+	s := p.f.Slot(v)
+	return p.score[s] + p.delta[s]
+}
+
+// add accumulates a delta on a local vertex and enqueues owned vertices
+// whose pending mass crosses the propagation threshold.
+func (p *program) add(v int32, d float64) {
+	s := p.f.Slot(v)
+	if s < 0 {
+		return
+	}
+	p.delta[s] += d
+	if p.f.Owns(v) && !p.inQ[s] && p.delta[s] > p.cfg.Tol {
+		p.inQ[s] = true
+		p.queue = append(p.queue, v)
+	}
+}
+
+// push drains the local queue: each pending delta is folded into the
+// score and d*x/N is pushed along out-edges; pushes to copies accumulate
+// for the next flush. The queue is FIFO so that deltas coalesce on a
+// vertex while it waits, keeping the number of pushes near-linear even at
+// tight tolerances.
+func (p *program) push(ctx *core.Context[float64]) {
+	for head := 0; head < len(p.queue); head++ {
+		v := p.queue[head]
+		s := p.f.Slot(v)
+		p.inQ[s] = false
+		x := p.delta[s]
+		if x <= p.cfg.Tol {
+			continue
+		}
+		p.delta[s] = 0
+		p.score[s] += x
+		out := p.g.Out(v)
+		ctx.AddWork(len(out) + 1)
+		if len(out) == 0 {
+			continue
+		}
+		share := p.cfg.Damping * x / float64(len(out))
+		for _, u := range out {
+			p.add(u, share)
+		}
+	}
+	p.queue = p.queue[:0]
+}
+
+// flush ships the accumulated copy deltas to their owners and resets
+// them.
+func (p *program) flush(ctx *core.Context[float64]) {
+	base := int32(p.f.NumOwned())
+	for i, v := range p.f.Out {
+		s := base + int32(i)
+		if p.delta[s] > 0 {
+			ctx.Send(v, p.delta[s])
+			p.delta[s] = 0
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package sssp is the PIE program for single-source shortest paths
+// (Section 5.1 of the paper): Dijkstra's algorithm as PEval and the
+// Ramalingam-Reps style incremental shortest-path algorithm as IncEval,
+// with min as the aggregate function over distance update parameters.
+package sssp
+
+import (
+	"container/heap"
+	"math"
+
+	"aap/internal/core"
+	"aap/internal/graph"
+	"aap/internal/partition"
+)
+
+// Inf is the distance of unreachable vertices.
+var Inf = math.Inf(1)
+
+// Job builds the SSSP PIE job for the given source (an external vertex
+// id). Edge weights must be positive; unweighted edges count as 1.
+func Job(source graph.VertexID) core.Job[float64] {
+	return core.Job[float64]{
+		Name: "sssp",
+		New: func(f *partition.Fragment) core.Program[float64] {
+			return newProgram(f, source)
+		},
+		Aggregate: math.Min,
+		Bytes:     func(float64) int { return 8 },
+		Default:   func(int32) float64 { return Inf },
+	}
+}
+
+// program holds the per-fragment state: one distance per local slot
+// (owned vertices then F.O copies) and a priority queue reused across
+// rounds.
+type program struct {
+	f      *partition.Fragment
+	g      *graph.Graph
+	source graph.VertexID
+	dist   []float64
+	pq     distHeap
+	// changedCopies records F.O copies improved in the current round, so
+	// flushBorder ships only decreased values (the paper's "v.cid
+	// decreased" message-segment analogue).
+	changedCopies []int32
+}
+
+func newProgram(f *partition.Fragment, source graph.VertexID) *program {
+	p := &program{f: f, g: f.Graph(), source: source}
+	p.dist = make([]float64, f.Slots())
+	for i := range p.dist {
+		p.dist[i] = Inf
+	}
+	return p
+}
+
+// PEval runs Dijkstra from the source if it is owned; fragments not
+// owning the source have nothing to do until messages arrive.
+func (p *program) PEval(ctx *core.Context[float64]) {
+	s, ok := p.g.IndexOf(p.source)
+	if !ok || !p.f.Owns(s) {
+		return
+	}
+	p.relax(s, 0)
+	p.dijkstra(ctx)
+	p.flushBorder(ctx, nil)
+}
+
+// IncEval resumes Dijkstra from the owned vertices whose distance the
+// aggregated messages improved; the cost is bounded by the size of the
+// affected area, the bounded-incremental property of [Ramalingam-Reps].
+func (p *program) IncEval(msgs []core.VMsg[float64], ctx *core.Context[float64]) {
+	improved := make(map[int32]bool)
+	for _, m := range msgs {
+		slot := p.f.Slot(m.V)
+		if slot < 0 {
+			continue
+		}
+		if m.Val < p.dist[slot] {
+			p.dist[slot] = m.Val
+			if p.f.Owns(m.V) {
+				heap.Push(&p.pq, distItem{v: m.V, d: m.Val})
+				improved[m.V] = true
+			}
+		}
+	}
+	p.dijkstra(ctx)
+	p.flushBorder(ctx, nil)
+}
+
+// Get returns the current distance of owned vertex v.
+func (p *program) Get(v int32) float64 { return p.dist[p.f.Slot(v)] }
+
+// relax lowers the distance of a local vertex; returns true if improved.
+func (p *program) relax(v int32, d float64) bool {
+	slot := p.f.Slot(v)
+	if slot < 0 || d >= p.dist[slot] {
+		return false
+	}
+	p.dist[slot] = d
+	if p.f.Owns(v) {
+		heap.Push(&p.pq, distItem{v: v, d: d})
+	} else {
+		p.changedCopies = append(p.changedCopies, v)
+	}
+	return true
+}
+
+func (p *program) dijkstra(ctx *core.Context[float64]) {
+	for p.pq.Len() > 0 {
+		it := heap.Pop(&p.pq).(distItem)
+		slot := p.f.Slot(it.v)
+		if it.d > p.dist[slot] {
+			continue
+		}
+		ws := p.g.OutWeights(it.v)
+		out := p.g.Out(it.v)
+		ctx.AddWork(len(out))
+		for i, u := range out {
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			p.relax(u, it.d+w)
+		}
+	}
+}
+
+// flushBorder sends improved copy distances to their owners.
+func (p *program) flushBorder(ctx *core.Context[float64], _ []int32) {
+	seen := make(map[int32]bool, len(p.changedCopies))
+	for _, v := range p.changedCopies {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		ctx.Send(v, p.dist[p.f.Slot(v)])
+	}
+	p.changedCopies = p.changedCopies[:0]
+}
+
+type distItem struct {
+	v int32
+	d float64
+}
+
+type distHeap struct{ items []distItem }
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	it := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return it
+}

@@ -1,0 +1,159 @@
+package checkpoint_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aap/internal/checkpoint"
+)
+
+// TestSnapshotConservesTotal runs concurrent random transfers while
+// taking snapshots and checks the Chandy-Lamport consistency invariant:
+// every snapshot's total (states + in-flight) equals the initial total.
+func TestSnapshotConservesTotal(t *testing.T) {
+	const procs = 8
+	const initial = 1000
+	states := make([]int64, procs)
+	for i := range states {
+		states[i] = initial
+	}
+	c := checkpoint.NewCoordinator(states)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Application traffic: random transfers with a delivery queue that
+	// reorders messages, modeling asynchronous channels.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var queue []checkpoint.Message
+			for {
+				select {
+				case <-stop:
+					for _, m := range queue {
+						c.Deliver(m)
+					}
+					return
+				default:
+				}
+				from, to := rng.Intn(procs), rng.Intn(procs)
+				if from == to {
+					continue
+				}
+				queue = append(queue, c.Send(from, to, int64(rng.Intn(5))))
+				// Deliver a random queued message, possibly out of order.
+				if len(queue) > 3 {
+					i := rng.Intn(len(queue))
+					c.Deliver(queue[i])
+					queue = append(queue[:i], queue[i+1:]...)
+				}
+			}
+		}(int64(w))
+	}
+
+	for epoch := 0; epoch < 20; epoch++ {
+		c.BeginSnapshot()
+	}
+	close(stop)
+	wg.Wait()
+	snap := c.Collect()
+	if got := snap.Total(); got != procs*initial {
+		t.Fatalf("snapshot total %d, want %d", got, procs*initial)
+	}
+}
+
+// TestQuiescentSnapshotMatchesState: with no traffic, the snapshot is
+// exactly the current states and has no channel state.
+func TestQuiescentSnapshotMatchesState(t *testing.T) {
+	c := checkpoint.NewCoordinator([]int64{5, 7, 11})
+	c.BeginSnapshot()
+	snap := c.Collect()
+	if snap.Total() != 23 {
+		t.Fatalf("total %d, want 23", snap.Total())
+	}
+	if len(snap.InFlight) != 0 {
+		t.Fatalf("unexpected in-flight messages: %v", snap.InFlight)
+	}
+	want := []int64{5, 7, 11}
+	for i, s := range snap.States {
+		if s != want[i] {
+			t.Errorf("state[%d] = %d, want %d", i, s, want[i])
+		}
+	}
+}
+
+// TestLateMessageRecordedAsChannelState pins the Section 6 rule: a
+// message sent before the snapshot but delivered after the receiver
+// recorded goes into the channel state.
+func TestLateMessageRecordedAsChannelState(t *testing.T) {
+	c := checkpoint.NewCoordinator([]int64{100, 100})
+	m := c.Send(0, 1, 30) // in flight, pre-snapshot
+	c.BeginSnapshot()
+	c.Deliver(m) // arrives without the token
+	snap := c.Collect()
+	if len(snap.InFlight) != 1 || snap.InFlight[0].Value != 30 {
+		t.Fatalf("in-flight = %v, want the 30-unit transfer", snap.InFlight)
+	}
+	if snap.Total() != 200 {
+		t.Fatalf("total %d, want 200", snap.Total())
+	}
+	// The sender's recorded state must show the deduction, the
+	// receiver's must not show the delivery.
+	if snap.States[0] != 70 || snap.States[1] != 100 {
+		t.Fatalf("states = %v, want [70 100]", snap.States)
+	}
+}
+
+// TestPostSnapshotMessageExcluded pins the complementary rule: messages
+// stamped with the token are not channel state.
+func TestPostSnapshotMessageExcluded(t *testing.T) {
+	c := checkpoint.NewCoordinator([]int64{100, 100})
+	c.BeginSnapshot()
+	m := c.Send(0, 1, 30) // carries the token
+	c.Deliver(m)
+	snap := c.Collect()
+	if len(snap.InFlight) != 0 {
+		t.Fatalf("post-snapshot message leaked into channel state: %v", snap.InFlight)
+	}
+	if snap.States[0] != 100 || snap.States[1] != 100 {
+		t.Fatalf("states = %v, want pre-send values", snap.States)
+	}
+}
+
+// TestRestoreReplaysInFlight: recovery resets states and redelivers the
+// channel state, after which the live total is conserved.
+func TestRestoreReplaysInFlight(t *testing.T) {
+	c := checkpoint.NewCoordinator([]int64{50, 50})
+	m := c.Send(0, 1, 20)
+	c.BeginSnapshot()
+	c.Deliver(m)
+	snap := c.Collect()
+
+	// Simulate divergence after the snapshot, then a failure.
+	c.Deliver(c.Send(0, 1, 10))
+
+	replay, err := c.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rm := range replay {
+		c.Deliver(rm)
+	}
+	total := c.Process(0).State + c.Process(1).State
+	if total != 100 {
+		t.Fatalf("post-recovery total %d, want 100", total)
+	}
+	if c.Process(0).State != 30 || c.Process(1).State != 70 {
+		t.Fatalf("post-recovery states [%d %d], want [30 70]", c.Process(0).State, c.Process(1).State)
+	}
+}
+
+func TestRestoreSizeMismatch(t *testing.T) {
+	c := checkpoint.NewCoordinator([]int64{1, 2})
+	if _, err := c.Restore(&checkpoint.Snapshot{States: []int64{1}}); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}

@@ -1,0 +1,115 @@
+// Package codec provides the binary wire format for designated messages
+// and program state: length-prefixed little-endian encoding with no
+// reflection, so communication accounting measures real serialized bytes
+// and checkpoints are byte-stable.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendUint32 appends v in little-endian order.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// AppendUint64 appends v in little-endian order.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// AppendFloat64 appends the IEEE-754 bits of v.
+func AppendFloat64(dst []byte, v float64) []byte {
+	return AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendFloat64s appends a length-prefixed vector.
+func AppendFloat64s(dst []byte, vs []float64) []byte {
+	dst = AppendUint32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = AppendFloat64(dst, v)
+	}
+	return dst
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// Reader decodes values appended by the Append functions.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("codec: truncated input at offset %d (need %d of %d)", r.off, n, len(r.buf))
+		return false
+	}
+	return true
+}
+
+// Uint32 decodes a little-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Uint64 decodes a little-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Float64 decodes an IEEE-754 float.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// Float64s decodes a length-prefixed vector.
+func (r *Reader) Float64s() []float64 {
+	n := r.Uint32()
+	if r.err != nil || !r.need(int(n)*8) {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uint32()
+	if r.err != nil || !r.need(int(n)) {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}

@@ -1,0 +1,110 @@
+package codec_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aap/internal/codec"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var buf []byte
+	buf = codec.AppendUint32(buf, 42)
+	buf = codec.AppendUint64(buf, 1<<40)
+	buf = codec.AppendFloat64(buf, 3.5)
+	buf = codec.AppendString(buf, "hello")
+	buf = codec.AppendFloat64s(buf, []float64{1, 2, 3})
+
+	r := codec.NewReader(buf)
+	if got := r.Uint32(); got != 42 {
+		t.Errorf("Uint32 = %d", got)
+	}
+	if got := r.Uint64(); got != 1<<40 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := r.Float64(); got != 3.5 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	vs := r.Float64s()
+	if len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Errorf("Float64s = %v", vs)
+	}
+	if r.Err() != nil {
+		t.Errorf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	buf := codec.AppendUint64(nil, 7)
+	r := codec.NewReader(buf[:4])
+	_ = r.Uint64()
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Errors are sticky: further reads return zero values.
+	if got := r.Uint32(); got != 0 {
+		t.Errorf("read after error = %d", got)
+	}
+}
+
+func TestTruncatedVector(t *testing.T) {
+	buf := codec.AppendUint32(nil, 1000) // claims 1000 floats, provides none
+	r := codec.NewReader(buf)
+	if vs := r.Float64s(); vs != nil {
+		t.Errorf("Float64s on truncated input = %v", vs)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a uint32, b uint64, c float64, s string, vec []float64) bool {
+		var buf []byte
+		buf = codec.AppendUint32(buf, a)
+		buf = codec.AppendUint64(buf, b)
+		buf = codec.AppendFloat64(buf, c)
+		buf = codec.AppendString(buf, s)
+		buf = codec.AppendFloat64s(buf, vec)
+		r := codec.NewReader(buf)
+		if r.Uint32() != a || r.Uint64() != b {
+			return false
+		}
+		if got := r.Float64(); got != c && !(got != got && c != c) { // NaN-safe
+			return false
+		}
+		if r.String() != s {
+			return false
+		}
+		got := r.Float64s()
+		if len(got) != len(vec) {
+			return false
+		}
+		for i := range got {
+			if got[i] != vec[i] && !(got[i] != got[i] && vec[i] != vec[i]) {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyString(t *testing.T) {
+	buf := codec.AppendString(nil, "")
+	r := codec.NewReader(buf)
+	if got := r.String(); got != "" {
+		t.Errorf("empty string round trip = %q", got)
+	}
+	if r.Err() != nil {
+		t.Error(r.Err())
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBSPControllerBarriers(t *testing.T) {
+	c := bspController{}
+	if d := c.Delay(View{Round: 3, RMin: 2}); !math.IsInf(d, 1) {
+		t.Errorf("ahead of r_min should suspend, got %v", d)
+	}
+	if d := c.Delay(View{Round: 2, RMin: 2}); d != 0 {
+		t.Errorf("at r_min should run, got %v", d)
+	}
+	if d := c.Delay(View{Round: 1, RMin: 2}); d != 0 {
+		t.Errorf("behind r_min should run, got %v", d)
+	}
+}
+
+func TestAPControllerNeverWaits(t *testing.T) {
+	c := apController{}
+	f := func(round, rmin, rmax int32, eta int) bool {
+		return c.Delay(View{Round: round, RMin: rmin, RMax: rmax, Eta: eta}) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSPControllerBound(t *testing.T) {
+	c := sspController{C: 2}
+	if d := c.Delay(View{Round: 5, RMin: 2}); !math.IsInf(d, 1) {
+		t.Errorf("3 ahead with c=2 should suspend, got %v", d)
+	}
+	if d := c.Delay(View{Round: 4, RMin: 2}); d != 0 {
+		t.Errorf("2 ahead with c=2 should run, got %v", d)
+	}
+}
+
+func TestAAPControllerSuspendsOnEmptyBuffer(t *testing.T) {
+	c := newAAPController(0, 0)
+	if d := c.Delay(View{Eta: 0}); !math.IsInf(d, 1) {
+		t.Errorf("empty buffer should suspend, got %v", d)
+	}
+}
+
+func TestAAPControllerBoundedStalenessPredicate(t *testing.T) {
+	c := newAAPController(0, 2)
+	// Fastest worker too far ahead: S is false, suspend.
+	v := View{Eta: 3, Round: 10, RMax: 10, RMin: 5}
+	if d := c.Delay(v); !math.IsInf(d, 1) {
+		t.Errorf("S=false should suspend, got %v", d)
+	}
+	// Not the fastest: S holds even when far ahead of r_min.
+	v.RMax = 12
+	if d := c.Delay(v); math.IsInf(d, 1) {
+		t.Error("non-fastest worker should not suspend")
+	}
+}
+
+func TestAAPControllerFastWorkerRunsImmediately(t *testing.T) {
+	c := newAAPController(0, 0)
+	// Round time at the cluster average: run like AP.
+	v := View{Eta: 1, RoundTime: 1, AvgRoundTime: 1, Rate: 100, NumWorkers: 8}
+	if d := c.Delay(v); d != 0 {
+		t.Errorf("average-speed worker should not wait, got %v", d)
+	}
+}
+
+func TestAAPControllerStragglerAccumulates(t *testing.T) {
+	c := newAAPController(0, 0)
+	// 4x straggler with heavy incoming traffic: positive finite stretch.
+	v := View{Eta: 1, RoundTime: 4, AvgRoundTime: 1, Rate: 10, NumWorkers: 8, IdleTime: 0}
+	d := c.Delay(v)
+	if d <= 0 || math.IsInf(d, 1) {
+		t.Fatalf("straggler under heavy traffic should wait a finite stretch, got %v", d)
+	}
+	if d > 0.5 { // capped by DeltaFrac * AvgRoundTime
+		t.Errorf("stretch %v exceeds the accumulation window", d)
+	}
+	// Idle time already spent is subtracted.
+	v.IdleTime = 10
+	if d := c.Delay(v); d != 0 {
+		t.Errorf("long-idle straggler should run, got %v", d)
+	}
+}
+
+func TestAAPControllerNoTrafficNoWait(t *testing.T) {
+	c := newAAPController(0, 0)
+	// Straggler but nothing arriving: run immediately.
+	v := View{Eta: 1, RoundTime: 4, AvgRoundTime: 1, Rate: 0.01, NumWorkers: 8}
+	if d := c.Delay(v); d != 0 {
+		t.Errorf("no predicted arrivals should mean no wait, got %v", d)
+	}
+}
+
+func TestAAPControllerNoEstimates(t *testing.T) {
+	c := newAAPController(0, 0)
+	if d := c.Delay(View{Eta: 1}); d != 0 {
+		t.Errorf("without estimates the controller must not block, got %v", d)
+	}
+}
+
+func TestNextRoundTimeEWMA(t *testing.T) {
+	if got := NextRoundTimeEWMA(0, 5); got != 5 {
+		t.Errorf("first sample = %v", got)
+	}
+	// Decreases track fast.
+	down := NextRoundTimeEWMA(4, 1)
+	if down >= 2.5 {
+		t.Errorf("decay too slow: %v", down)
+	}
+	// Increases are conservative.
+	up := NextRoundTimeEWMA(1, 4)
+	if up != 2.5 {
+		t.Errorf("rise = %v, want 2.5", up)
+	}
+}
+
+func TestNextRoundTimeEWMAMonotoneProperty(t *testing.T) {
+	f := func(prev, dur float64) bool {
+		prev, dur = math.Abs(prev), math.Abs(dur)
+		got := NextRoundTimeEWMA(prev, dur)
+		lo, hi := math.Min(prev, dur), math.Max(prev, dur)
+		if prev == 0 {
+			return got == dur
+		}
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{AAP: "AAP", BSP: "BSP", AP: "AP", SSP: "SSP", Hsync: "Hsync", Mode(42): "Mode(42)"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}
+
+func TestControllerSetModes(t *testing.T) {
+	for _, mode := range []Mode{AAP, BSP, AP, SSP, Hsync} {
+		set := NewControllerSet(Options{Mode: mode, Staleness: 2}, 4)
+		for i := 0; i < 4; i++ {
+			if set.Controller(i) == nil {
+				t.Fatalf("%s: nil controller", mode)
+			}
+		}
+		// Observe hooks must be safe for every mode.
+		set.ObserveConsumed(10)
+		set.ObserveRound(5)
+	}
+}
+
+func TestHsyncPhaseFlipsOnThroughputDrop(t *testing.T) {
+	h := newHsyncState(2)
+	c := hsyncController{state: h}
+	if d := c.Delay(View{Round: 5, RMin: 1}); d != 0 {
+		t.Error("AP phase should never wait")
+	}
+	// Window 1: high throughput.
+	h.processed.Add(100)
+	h.observe(2, 0)
+	// Window 2: throughput collapse triggers a phase flip.
+	h.processed.Add(10)
+	h.observe(4, 0)
+	if !h.bspPhase.Load() {
+		t.Fatal("phase did not flip after throughput drop")
+	}
+	if d := c.Delay(View{Round: 5, RMin: 1}); !math.IsInf(d, 1) {
+		t.Error("BSP phase should suspend workers ahead of r_min")
+	}
+	if d := c.Delay(View{Round: 1, RMin: 1}); d != 0 {
+		t.Error("BSP phase should run workers at r_min")
+	}
+}
+
+func TestAAPControllerLFloor(t *testing.T) {
+	// A large L⊥ forces accumulation beyond the expected-arrival target.
+	c := newAAPController(100, 0)
+	v := View{Eta: 2, RoundTime: 4, AvgRoundTime: 1, Rate: 10, NumWorkers: 4}
+	d := c.Delay(v)
+	if d <= 0 {
+		t.Fatalf("L⊥=100 with η=2 should wait, got %v", d)
+	}
+}

@@ -1,0 +1,548 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aap/internal/partition"
+)
+
+// Options configures a run of the concurrent engine.
+type Options struct {
+	// Mode selects the parallel model; AAP is the default.
+	Mode Mode
+	// Staleness is the bound c for SSP, and for AAP's predicate S when
+	// the algorithm needs bounded staleness (CF). Zero means unbounded.
+	Staleness int
+	// LFloor is L⊥, the initial accumulation bound of the AAP controller.
+	LFloor int
+	// PhysicalWorkers bounds how many virtual workers compute at once,
+	// modeling n physical workers hosting m > n virtual workers.
+	// Defaults to GOMAXPROCS.
+	PhysicalWorkers int
+	// Latency delays every message batch, and Jitter adds a uniformly
+	// random extra delay in [0, Jitter); both default to zero. They are
+	// used by the Church-Rosser tests to randomize schedules.
+	Latency time.Duration
+	Jitter  time.Duration
+	// Seed drives the jitter randomness.
+	Seed int64
+	// MaxRounds aborts the run when any worker exceeds it; a safety
+	// valve for non-terminating programs. Defaults to 1 << 20.
+	MaxRounds int32
+	// Timeout aborts the run after this wall time. Defaults to 5 minutes.
+	Timeout time.Duration
+	// HsyncWindow is the phase length, in global rounds, of Hsync mode.
+	HsyncWindow int32
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.PhysicalWorkers <= 0 {
+		out.PhysicalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if out.MaxRounds <= 0 {
+		out.MaxRounds = 1 << 20
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 5 * time.Minute
+	}
+	return out
+}
+
+// Run executes job over the partitioned graph p under the configured
+// parallel model and returns the assembled result. It is the engine of
+// Section 3: PEval at every worker, asynchronous IncEval rounds gated by
+// each worker's delay-stretch controller, and termination detected when
+// every worker is inactive with no designated messages in flight.
+func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T], error) {
+	opts = opts.withDefaults()
+	e := &engine[T]{
+		p:          p,
+		job:        job,
+		opts:       opts,
+		slots:      make(chan struct{}, opts.PhysicalWorkers),
+		done:       make(chan struct{}),
+		rates:      make([]uint64, p.M),
+		roundTimes: make([]uint64, p.M),
+	}
+	e.coord.init(p.M, e)
+	if opts.Mode == Hsync {
+		e.hsync = newHsyncState(opts.HsyncWindow)
+	}
+	e.workers = make([]*worker[T], p.M)
+	for i, f := range p.Frags {
+		w := &worker[T]{
+			id:      i,
+			eng:     e,
+			frag:    f,
+			prog:    job.New(f),
+			ctx:     newContext[T](f, p.M),
+			ctrl:    newController(opts, e.hsync),
+			origins: make(map[int32]bool),
+			rng:     rand.New(rand.NewSource(opts.Seed + int64(i)*7919)),
+		}
+		w.inbox.notify = make(chan struct{}, 1)
+		w.progress = make(chan struct{}, 1)
+		e.workers[i] = w
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(p.M)
+	for _, w := range e.workers {
+		go func(w *worker[T]) {
+			defer wg.Done()
+			w.run()
+		}(w)
+	}
+
+	timer := time.NewTimer(opts.Timeout)
+	defer timer.Stop()
+	select {
+	case <-e.coord.doneCh():
+	case <-timer.C:
+		e.fail(fmt.Errorf("core: %s/%s timed out after %v", job.Name, opts.Mode, opts.Timeout))
+	}
+	close(e.done)
+	wg.Wait()
+	if err := e.err(); err != nil {
+		return nil, err
+	}
+
+	stats := RunStats{Job: job.Name, Mode: opts.Mode.String(), Seconds: time.Since(start).Seconds()}
+	stats.Workers = make([]WorkerStats, p.M)
+	for i, w := range e.workers {
+		stats.Workers[i] = w.stats
+	}
+	stats.finalize()
+
+	progs := make([]Program[T], p.M)
+	for i, w := range e.workers {
+		progs[i] = w.prog
+	}
+	return &Result[T]{Values: Assemble(p, progs, job), Stats: stats}, nil
+}
+
+// engine holds the shared state of one run.
+type engine[T any] struct {
+	p       *partition.Partitioned
+	job     Job[T]
+	opts    Options
+	workers []*worker[T]
+	slots   chan struct{} // physical-worker pool
+	coord   coordinator
+	hsync   *hsyncState
+	done    chan struct{} // closed when the run ends (success or failure)
+
+	rates      []uint64 // per-worker arrival-rate EWMA as float bits
+	roundTimes []uint64 // per-worker round-time EWMA as float bits
+
+	errMu  sync.Mutex
+	runErr error
+}
+
+func (e *engine[T]) fail(err error) {
+	e.errMu.Lock()
+	if e.runErr == nil {
+		e.runErr = err
+	}
+	e.errMu.Unlock()
+	e.coord.forceDone()
+}
+
+func (e *engine[T]) err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.runErr
+}
+
+func (e *engine[T]) avgRate() float64 {
+	var sum float64
+	for i := range e.rates {
+		sum += math.Float64frombits(atomic.LoadUint64(&e.rates[i]))
+	}
+	return sum / float64(len(e.rates))
+}
+
+func (e *engine[T]) avgRoundTime() float64 {
+	var sum float64
+	for i := range e.roundTimes {
+		sum += math.Float64frombits(atomic.LoadUint64(&e.roundTimes[i]))
+	}
+	return sum / float64(len(e.roundTimes))
+}
+
+// deliver ships a message batch from worker `from` to worker `to`,
+// optionally after the configured latency; jitter is drawn by the caller
+// so each worker uses its own random stream.
+func (e *engine[T]) deliver(from, to int, msgs []VMsg[T], extra time.Duration) {
+	e.coord.addSent(int64(len(msgs)))
+	put := func() { e.workers[to].inbox.put(batch[T]{from: int32(from), msgs: msgs}) }
+	d := e.opts.Latency + extra
+	if d > 0 {
+		time.AfterFunc(d, put)
+	} else {
+		put()
+	}
+}
+
+// batch is one designated message M(i, j): the update-parameter changes
+// shipped from worker i to worker j after a round.
+type batch[T any] struct {
+	from int32
+	msgs []VMsg[T]
+}
+
+// inbox is the unbounded mailbox B_x̄i of a worker. put never blocks, so
+// message passing cannot deadlock regardless of schedule.
+type inbox[T any] struct {
+	mu      sync.Mutex
+	batches []batch[T]
+	notify  chan struct{}
+}
+
+func (ib *inbox[T]) put(b batch[T]) {
+	ib.mu.Lock()
+	ib.batches = append(ib.batches, b)
+	ib.mu.Unlock()
+	select {
+	case ib.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (ib *inbox[T]) take() []batch[T] {
+	ib.mu.Lock()
+	bs := ib.batches
+	ib.batches = nil
+	ib.mu.Unlock()
+	return bs
+}
+
+// coordinator tracks relative progress (r_i, r_min, r_max), worker
+// activity, and global message counts for termination detection: the run
+// is complete when every worker is inactive and every sent message has
+// been consumed — the master's inactive/terminate/ack protocol of
+// Section 3, realized with Mattern-style counters.
+type coordinator struct {
+	mu          sync.Mutex
+	rounds      []int32
+	active      []bool
+	activeCount int
+	sent        int64
+	consumed    int64
+	done        chan struct{}
+	finished    bool
+	eng         interface{ broadcastProgress() }
+}
+
+func (c *coordinator) init(m int, eng interface{ broadcastProgress() }) {
+	c.rounds = make([]int32, m)
+	c.active = make([]bool, m)
+	for i := range c.active {
+		c.active[i] = true
+	}
+	c.activeCount = m
+	c.done = make(chan struct{})
+	c.eng = eng
+}
+
+func (c *coordinator) doneCh() <-chan struct{} { return c.done }
+
+func (c *coordinator) forceDone() {
+	c.mu.Lock()
+	if !c.finished {
+		c.finished = true
+		close(c.done)
+	}
+	c.mu.Unlock()
+}
+
+func (c *coordinator) roundDone(id int) int32 {
+	c.mu.Lock()
+	c.rounds[id]++
+	r := c.rounds[id]
+	c.mu.Unlock()
+	c.eng.broadcastProgress()
+	return r
+}
+
+func (c *coordinator) addSent(n int64) {
+	c.mu.Lock()
+	c.sent += n
+	c.mu.Unlock()
+}
+
+func (c *coordinator) addConsumed(n int64) {
+	c.mu.Lock()
+	c.consumed += n
+	c.mu.Unlock()
+}
+
+func (c *coordinator) setActive(id int, active bool) {
+	c.mu.Lock()
+	if c.active[id] != active {
+		c.active[id] = active
+		if active {
+			c.activeCount++
+		} else {
+			c.activeCount--
+		}
+	}
+	fire := !active && c.activeCount == 0 && c.sent == c.consumed && !c.finished
+	if fire {
+		c.finished = true
+		close(c.done)
+	}
+	c.mu.Unlock()
+	if !fire {
+		c.eng.broadcastProgress()
+	}
+}
+
+// view returns (r_min over active workers, r_max over all workers). When
+// no worker is active r_min falls back to the caller's round.
+func (c *coordinator) view(self int) (rmin, rmax int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rmin = int32(math.MaxInt32)
+	for i, r := range c.rounds {
+		if r > rmax {
+			rmax = r
+		}
+		if c.active[i] && r < rmin {
+			rmin = r
+		}
+	}
+	if rmin == int32(math.MaxInt32) {
+		rmin = c.rounds[self]
+	}
+	return rmin, rmax
+}
+
+func (e *engine[T]) broadcastProgress() {
+	for _, w := range e.workers {
+		select {
+		case w.progress <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// worker is one virtual worker P_i.
+type worker[T any] struct {
+	id   int
+	eng  *engine[T]
+	frag *partition.Fragment
+	prog Program[T]
+	ctx  *Context[T]
+	ctrl Controller
+
+	inbox    inbox[T]
+	progress chan struct{}
+	buffer   []VMsg[T]
+	origins  map[int32]bool
+
+	rng *rand.Rand
+
+	stats         WorkerStats
+	rounds        int32
+	roundTimeEWMA float64
+	rateEWMA      float64
+	lastDrain     time.Time
+	lastRoundEnd  time.Time
+	isActive      bool
+}
+
+type wakeReason int
+
+const (
+	wakeMsg wakeReason = iota
+	wakeProgress
+	wakeTimer
+	wakeDone
+)
+
+func (w *worker[T]) run() {
+	w.isActive = true
+	w.lastDrain = time.Now()
+	w.execRound(true)
+	for {
+		select {
+		case <-w.eng.done:
+			return
+		default:
+		}
+		w.drain()
+		if len(w.buffer) == 0 {
+			w.setActive(false)
+			// Double-check the inbox after flagging inactive; a message
+			// may have landed in between (its notify token persists, so
+			// the wait below returns immediately in that case).
+			if r := w.wait(Forever); r == wakeDone {
+				return
+			}
+			w.setActive(true)
+			continue
+		}
+		d := w.ctrl.Delay(w.view())
+		if math.IsInf(d, 1) {
+			if r := w.wait(Forever); r == wakeDone {
+				return
+			}
+			continue
+		}
+		if d > 0 {
+			r := w.wait(d)
+			if r == wakeDone {
+				return
+			}
+			if r != wakeTimer {
+				continue // new information: re-evaluate the stretch
+			}
+		}
+		w.execRound(false)
+	}
+}
+
+func (w *worker[T]) setActive(active bool) {
+	if w.isActive == active {
+		return
+	}
+	w.isActive = active
+	w.eng.coord.setActive(w.id, active)
+}
+
+// wait blocks until a message arrives, global progress changes, the delay
+// stretch d elapses (if finite), or the run ends.
+func (w *worker[T]) wait(d float64) wakeReason {
+	var timerC <-chan time.Time
+	if !math.IsInf(d, 1) {
+		t := time.NewTimer(time.Duration(d * float64(time.Second)))
+		defer t.Stop()
+		timerC = t.C
+	}
+	t0 := time.Now()
+	defer func() { w.stats.IdleSeconds += time.Since(t0).Seconds() }()
+	select {
+	case <-w.inbox.notify:
+		return wakeMsg
+	case <-w.progress:
+		return wakeProgress
+	case <-timerC:
+		return wakeTimer
+	case <-w.eng.done:
+		return wakeDone
+	}
+}
+
+// drain moves arrived batches from the inbox into the local buffer B_x̄i
+// and refreshes the arrival-rate estimate s_i.
+func (w *worker[T]) drain() {
+	bs := w.inbox.take()
+	if len(bs) == 0 {
+		return
+	}
+	n := 0
+	for _, b := range bs {
+		n += len(b.msgs)
+		w.buffer = append(w.buffer, b.msgs...)
+		w.origins[b.from] = true
+	}
+	w.stats.MsgsRecv += int64(n)
+	w.eng.coord.addConsumed(int64(n))
+	if w.eng.hsync != nil {
+		w.eng.hsync.processed.Add(int64(n))
+	}
+	now := time.Now()
+	dt := now.Sub(w.lastDrain).Seconds()
+	w.lastDrain = now
+	if dt > 0 {
+		inst := float64(n) / dt
+		w.rateEWMA = 0.5*w.rateEWMA + 0.5*inst
+		atomic.StoreUint64(&w.eng.rates[w.id], math.Float64bits(w.rateEWMA))
+	}
+}
+
+func (w *worker[T]) view() View {
+	rmin, rmax := w.eng.coord.view(w.id)
+	return View{
+		Worker:       w.id,
+		NumWorkers:   w.eng.p.M,
+		Round:        w.rounds,
+		RMin:         rmin,
+		RMax:         rmax,
+		Eta:          len(w.origins),
+		Buffered:     len(w.buffer),
+		RoundTime:    w.roundTimeEWMA,
+		AvgRoundTime: w.eng.avgRoundTime(),
+		Rate:         w.rateEWMA,
+		AvgRate:      w.eng.avgRate(),
+		IdleTime:     time.Since(w.lastRoundEnd).Seconds(),
+	}
+}
+
+// execRound runs PEval (peval=true) or one IncEval round: it acquires a
+// physical-worker slot, folds the buffer with f_aggr, evaluates, and
+// flushes the designated messages.
+func (w *worker[T]) execRound(peval bool) {
+	e := w.eng
+	if w.rounds >= e.opts.MaxRounds {
+		e.fail(fmt.Errorf("core: %s/%s worker %d exceeded %d rounds", e.job.Name, e.opts.Mode, w.id, e.opts.MaxRounds))
+		return
+	}
+	select {
+	case e.slots <- struct{}{}:
+	case <-e.done:
+		return
+	}
+	t0 := time.Now()
+	w.ctx.round = w.rounds
+	if peval {
+		w.prog.PEval(w.ctx)
+	} else {
+		msgs := FoldMessages(w.buffer, e.job.Aggregate)
+		w.buffer = w.buffer[:0]
+		for k := range w.origins {
+			delete(w.origins, k)
+		}
+		w.prog.IncEval(msgs, w.ctx)
+	}
+	dur := time.Since(t0).Seconds()
+	<-e.slots
+
+	w.stats.BusySeconds += dur
+	w.roundTimeEWMA = nextRoundTimeEWMA(w.roundTimeEWMA, dur)
+	atomic.StoreUint64(&e.roundTimes[w.id], math.Float64bits(w.roundTimeEWMA))
+	out, work := w.ctx.takeOut()
+	w.stats.Work += work
+	for j, msgs := range out {
+		if len(msgs) == 0 {
+			continue
+		}
+		var bytes int64
+		for _, m := range msgs {
+			bytes += int64(e.job.valueBytes(m.Val))
+		}
+		w.stats.MsgsSent += int64(len(msgs))
+		w.stats.BytesSent += bytes
+		var extra time.Duration
+		if e.opts.Jitter > 0 {
+			extra = time.Duration(w.rng.Int63n(int64(e.opts.Jitter)))
+		}
+		e.deliver(w.id, j, msgs, extra)
+	}
+	w.rounds = e.coord.roundDone(w.id)
+	w.stats.Rounds = w.rounds
+	w.lastRoundEnd = time.Now()
+	if e.hsync != nil {
+		_, rmax := e.coord.view(w.id)
+		e.hsync.observe(rmax, 0)
+	}
+}

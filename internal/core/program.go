@@ -1,0 +1,223 @@
+// Package core implements the AAP (Adaptive Asynchronous Parallel) model
+// of Fan et al., SIGMOD 2018, together with the GRAPE PIE programming
+// model it parallelizes.
+//
+// A graph computation is expressed as a Job: a factory for per-fragment
+// Programs (PEval + IncEval, Section 2 of the paper), an aggregate
+// function f_aggr resolving conflicting updates to the same update
+// parameter, and a wire-size function for communication accounting.
+//
+// The Run function executes a Job over a partitioned graph under a
+// configurable parallel model: BSP, AP, SSP and AAP are all instances of
+// the same delay-stretch controller (Section 3).
+package core
+
+import (
+	"sort"
+
+	"aap/internal/partition"
+)
+
+// VMsg is a designated message (x, val, r) in the paper's terms: the
+// value of the update parameter of border vertex V computed at round
+// Round by worker From.
+type VMsg[T any] struct {
+	V     int32 // global vertex index of the update parameter
+	Val   T
+	Round int32
+	From  int32 // sending worker
+}
+
+// Program is the per-fragment half of a PIE program. A Program instance
+// is created per fragment by Job.New and invoked by a single worker at a
+// time, so it may keep unguarded local state (components, heaps, factor
+// matrices) across rounds.
+type Program[T any] interface {
+	// PEval performs partial evaluation on the fragment: it computes the
+	// local partial result and sends initial values of update parameters
+	// for border vertices through ctx.Send.
+	PEval(ctx *Context[T])
+
+	// IncEval incrementally updates the partial result given the
+	// aggregated changes msgs to the fragment's update parameters. msgs
+	// holds at most one entry per vertex (the engine folds the buffer
+	// B_x̄i with the job's aggregate function first) in ascending vertex
+	// order. IncEval must run to local quiescence: after it returns with
+	// no new messages the partial result is a local fixpoint.
+	IncEval(msgs []VMsg[T], ctx *Context[T])
+
+	// Get returns the current value for an owned vertex, used by
+	// Assemble to collect the global result.
+	Get(v int32) T
+}
+
+// Job packages a PIE program for execution by an engine.
+type Job[T any] struct {
+	// Name identifies the job in reports.
+	Name string
+
+	// New creates the Program for one fragment.
+	New func(f *partition.Fragment) Program[T]
+
+	// Aggregate is f_aggr: it folds two values destined for the same
+	// update parameter into one (e.g. min for CC and SSSP, sum for the
+	// PageRank deltas). It must be associative and commutative.
+	Aggregate func(a, b T) T
+
+	// Bytes returns the wire size of one value for communication
+	// accounting. When nil, 8 bytes per value is assumed.
+	Bytes func(T) int
+
+	// Default returns the value reported for vertices never touched by
+	// the computation; the zero value of T when nil.
+	Default func(v int32) T
+}
+
+// valueBytes returns the accounted wire size of val plus the fixed
+// per-message header (vertex id 4B + round 4B).
+func (j *Job[T]) valueBytes(val T) int {
+	const header = 8
+	if j.Bytes == nil {
+		return header + 8
+	}
+	return header + j.Bytes(val)
+}
+
+// Context is the interface a Program uses to talk to its engine: sending
+// designated messages and reporting work for cost accounting.
+type Context[T any] struct {
+	frag  *partition.Fragment
+	round int32
+	work  int64
+
+	// out accumulates messages per destination worker within a round.
+	out [][]VMsg[T]
+
+	owner func(v int32) int
+}
+
+func newContext[T any](f *partition.Fragment, m int) *Context[T] {
+	p := f.Partitioned()
+	return &Context[T]{
+		frag:  f,
+		out:   make([][]VMsg[T], m),
+		owner: p.Owner,
+	}
+}
+
+// Fragment returns the fragment the program runs on.
+func (c *Context[T]) Fragment() *partition.Fragment { return c.frag }
+
+// Round returns the current round number (0 for PEval).
+func (c *Context[T]) Round() int32 { return c.round }
+
+// Send ships the value of update parameter v to the worker owning v. It
+// corresponds to including v in the designated message M(i, j) of the
+// current round. Sending to the local fragment is allowed and delivered
+// through the local buffer like any other message.
+func (c *Context[T]) Send(v int32, val T) {
+	j := c.owner(v)
+	c.out[j] = append(c.out[j], VMsg[T]{V: v, Val: val, Round: c.round, From: int32(c.frag.ID)})
+}
+
+// SendToHolders ships val to every fragment holding a copy of owned
+// vertex v (the owner-to-copies direction used by collaborative
+// filtering, routed through the index I_i).
+func (c *Context[T]) SendToHolders(v int32, val T) {
+	for _, j := range c.frag.Partitioned().Holders(v) {
+		if int(j) == c.frag.ID {
+			continue
+		}
+		c.out[j] = append(c.out[j], VMsg[T]{V: v, Val: val, Round: c.round, From: int32(c.frag.ID)})
+	}
+}
+
+// SendTo ships val for vertex v directly to worker j, the arbitrary
+// routing used by the MapReduce simulation (Theorem 4), where update
+// parameters live on a worker clique.
+func (c *Context[T]) SendTo(j int, v int32, val T) {
+	c.out[j] = append(c.out[j], VMsg[T]{V: v, Val: val, Round: c.round, From: int32(c.frag.ID)})
+}
+
+// AddWork reports n units of work (vertices touched, edges relaxed) for
+// the cost model and the stale-computation metric.
+func (c *Context[T]) AddWork(n int) { c.work += int64(n) }
+
+// NewEngineContext, SetRound and TakeOut expose the context plumbing to
+// engines outside this package (the virtual-time simulator); they are not
+// part of the programming API.
+func NewEngineContext[T any](f *partition.Fragment, m int) *Context[T] { return newContext[T](f, m) }
+
+// SetRound sets the round number recorded in outgoing messages.
+func (c *Context[T]) SetRound(r int32) { c.round = r }
+
+// TakeOut returns and clears the per-destination message lists and the
+// accumulated work of the finished round.
+func (c *Context[T]) TakeOut() ([][]VMsg[T], int64) { return c.takeOut() }
+
+// ValueBytes returns the accounted wire size of one message carrying val.
+func (j *Job[T]) ValueBytes(val T) int { return j.valueBytes(val) }
+
+// takeOut returns and clears the per-destination message lists and the
+// accumulated work of the finished round.
+func (c *Context[T]) takeOut() ([][]VMsg[T], int64) {
+	out := c.out
+	c.out = make([][]VMsg[T], len(out))
+	w := c.work
+	c.work = 0
+	return out, w
+}
+
+// FoldMessages folds a message buffer with the aggregate function,
+// producing at most one message per vertex, in ascending vertex order
+// (so IncEval sees a deterministic input regardless of arrival order).
+// The retained Round/From are those of the latest-round contribution.
+func FoldMessages[T any](buf []VMsg[T], agg func(a, b T) T) []VMsg[T] {
+	if len(buf) == 0 {
+		return nil
+	}
+	byV := make(map[int32]VMsg[T], len(buf))
+	for _, m := range buf {
+		if cur, ok := byV[m.V]; ok {
+			cur.Val = agg(cur.Val, m.Val)
+			if m.Round > cur.Round {
+				cur.Round = m.Round
+				cur.From = m.From
+			}
+			byV[m.V] = cur
+		} else {
+			byV[m.V] = m
+		}
+	}
+	out := make([]VMsg[T], 0, len(byV))
+	for _, m := range byV {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	return out
+}
+
+// Result is the outcome of running a Job: the assembled per-vertex values
+// (indexed by global vertex) and the run statistics.
+type Result[T any] struct {
+	Values []T
+	Stats  RunStats
+}
+
+// Assemble collects owned values from every program into a global vector,
+// the default Assemble of the paper's PIE programs (taking the union of
+// partial results).
+func Assemble[T any](p *partition.Partitioned, progs []Program[T], job Job[T]) []T {
+	values := make([]T, p.G.NumVertices())
+	if job.Default != nil {
+		for v := range values {
+			values[v] = job.Default(int32(v))
+		}
+	}
+	for i, f := range p.Frags {
+		for v := f.Lo; v < f.Hi; v++ {
+			values[v] = progs[i].Get(v)
+		}
+	}
+	return values
+}

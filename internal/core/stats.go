@@ -1,0 +1,56 @@
+package core
+
+// WorkerStats accumulates per-worker measurements of a run.
+type WorkerStats struct {
+	Rounds      int32   // completed rounds, PEval included
+	BusySeconds float64 // time spent inside PEval/IncEval
+	IdleSeconds float64 // time spent inactive or suspended
+	Work        int64   // work units reported via Context.AddWork
+	MsgsSent    int64
+	BytesSent   int64
+	MsgsRecv    int64
+}
+
+// RunStats summarizes one engine run. Times are wall-clock seconds for
+// the concurrent engine and virtual seconds for the simulator.
+type RunStats struct {
+	Job     string
+	Mode    string
+	Workers []WorkerStats
+
+	Seconds    float64
+	TotalMsgs  int64
+	TotalBytes int64
+	TotalWork  int64
+	TotalIdle  float64
+	TotalBusy  float64
+	MaxRound   int32
+	MinRound   int32
+	SumRounds  int64
+}
+
+// finalize derives the aggregate fields from the per-worker entries.
+func (s *RunStats) finalize() {
+	s.MinRound = 1 << 30
+	for _, w := range s.Workers {
+		s.TotalMsgs += w.MsgsSent
+		s.TotalBytes += w.BytesSent
+		s.TotalWork += w.Work
+		s.TotalIdle += w.IdleSeconds
+		s.TotalBusy += w.BusySeconds
+		s.SumRounds += int64(w.Rounds)
+		if w.Rounds > s.MaxRound {
+			s.MaxRound = w.Rounds
+		}
+		if w.Rounds < s.MinRound {
+			s.MinRound = w.Rounds
+		}
+	}
+	if len(s.Workers) == 0 {
+		s.MinRound = 0
+	}
+}
+
+// Finalize computes aggregate totals; exported for engines outside this
+// package (the simulator) that fill Workers directly.
+func (s *RunStats) Finalize() { s.finalize() }

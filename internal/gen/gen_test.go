@@ -1,0 +1,203 @@
+package gen_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"aap/internal/algo/ref"
+	"aap/internal/gen"
+)
+
+func TestPowerLawShape(t *testing.T) {
+	g := gen.PowerLaw(2000, 8, 2.1, true, 1)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 16000 {
+		t.Fatalf("edges = %d, want 16000", g.NumEdges())
+	}
+	if !g.Directed() || !g.Weighted() {
+		t.Fatal("flags wrong")
+	}
+	// Heavy tail: the max degree should far exceed the average.
+	maxDeg := 0
+	for v := int32(0); v < 2000; v++ {
+		if d := g.OutDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 40 {
+		t.Errorf("max degree %d too small for a power law (avg 8)", maxDeg)
+	}
+	// Weights positive.
+	for v := int32(0); v < 2000; v += 97 {
+		for _, w := range g.OutWeights(v) {
+			if w <= 0 {
+				t.Fatalf("nonpositive weight %v", w)
+			}
+		}
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a := gen.PowerLaw(300, 4, 2.1, true, 42)
+	b := gen.PowerLaw(300, 4, 2.1, true, 42)
+	c := gen.PowerLaw(300, 4, 2.1, true, 43)
+	sig := func(g interface {
+		OutDegree(int32) int
+		NumVertices() int
+	}) []int {
+		out := make([]int, g.NumVertices())
+		for v := range out {
+			out[v] = g.OutDegree(int32(v))
+		}
+		return out
+	}
+	sa, sb, sc := sig(a), sig(b), sig(c)
+	same, diff := true, false
+	for i := range sa {
+		if sa[i] != sb[i] {
+			same = false
+		}
+		if sa[i] != sc[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different graphs")
+	}
+	if !diff {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := gen.Grid(5, 7, 2)
+	if g.NumVertices() != 35 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Edges: horizontal 5*(7-1) + vertical (5-1)*7 = 30 + 28.
+	if g.NumEdges() != 58 {
+		t.Fatalf("edges = %d, want 58", g.NumEdges())
+	}
+	if g.Directed() {
+		t.Fatal("grid should be undirected")
+	}
+	// A road network is connected.
+	cc := ref.CC(g)
+	for v := range cc {
+		if cc[v] != cc[0] {
+			t.Fatal("grid not connected")
+		}
+	}
+	// Corner has degree 2, interior degree 4.
+	v0, _ := g.IndexOf(0)
+	if g.OutDegree(v0) != 2 {
+		t.Errorf("corner degree %d", g.OutDegree(v0))
+	}
+	vi, _ := g.IndexOf(7 + 1) // row 1, col 1
+	if g.OutDegree(vi) != 4 {
+		t.Errorf("interior degree %d", g.OutDegree(vi))
+	}
+}
+
+func TestSmallWorldShape(t *testing.T) {
+	g := gen.SmallWorld(500, 3, 0.1, false, 3)
+	if g.NumVertices() != 500 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 1400 || g.NumEdges() > 1500 {
+		t.Errorf("edges = %d, want ~1500", g.NumEdges())
+	}
+	cc := ref.CC(g)
+	counts := map[int64]int{}
+	for _, c := range cc {
+		counts[c]++
+	}
+	// A ring lattice with k=3 is connected; mild rewiring keeps one
+	// dominant component.
+	best := 0
+	for _, n := range counts {
+		if n > best {
+			best = n
+		}
+	}
+	if best < 450 {
+		t.Errorf("largest component %d of 500", best)
+	}
+}
+
+func TestRandomGraph(t *testing.T) {
+	g := gen.Random(100, 400, true, 5)
+	if g.NumVertices() != 100 || g.NumEdges() != 400 {
+		t.Fatalf("size %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	var selfLoops int
+	g.Edges(func(s, d int32, w float64) {
+		if s == d {
+			selfLoops++
+		}
+	})
+	if selfLoops > 0 {
+		t.Errorf("%d self loops", selfLoops)
+	}
+}
+
+func TestBipartiteRatings(t *testing.T) {
+	r := gen.Bipartite(200, 50, 10, 4, 0.9, 7)
+	if r.Users != 200 || r.Products != 50 || r.Rank != 4 {
+		t.Fatal("dimensions wrong")
+	}
+	total := len(r.TrainEdges) + len(r.HoldoutEdges)
+	if total == 0 || total > 2000 {
+		t.Fatalf("ratings = %d", total)
+	}
+	frac := float64(len(r.TrainEdges)) / float64(total)
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("train fraction %.2f, want ~0.9", frac)
+	}
+	if int64(len(r.TrainEdges)) != r.G.NumEdges() {
+		t.Errorf("graph edges %d != train edges %d", r.G.NumEdges(), len(r.TrainEdges))
+	}
+	// Edges go user -> product with ids in the documented ranges.
+	for _, e := range r.TrainEdges[:10] {
+		if e.Src < 0 || int(e.Src) >= 200 {
+			t.Fatalf("bad user id %d", e.Src)
+		}
+		if int(e.Dst) < 200 || int(e.Dst) >= 250 {
+			t.Fatalf("bad product id %d", e.Dst)
+		}
+	}
+	// Planted low-rank structure: ratings should correlate with the
+	// ground-truth factors (noise sigma is 0.1).
+	var se float64
+	for _, e := range r.TrainEdges {
+		pred := dot(r.UserFactor[e.Src], r.ProdFactor[int(e.Dst)-200])
+		se += (e.Weight - pred) * (e.Weight - pred)
+	}
+	rmse := math.Sqrt(se / float64(len(r.TrainEdges)))
+	if rmse > 0.15 {
+		t.Errorf("ground-truth RMSE %.3f, want ~0.1", rmse)
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func TestBipartitePopularitySkew(t *testing.T) {
+	r := gen.Bipartite(500, 100, 8, 4, 1.0, 11)
+	deg := make([]int, 100)
+	for _, e := range r.TrainEdges {
+		deg[int(e.Dst)-500]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	if deg[0] < 3*deg[50] {
+		t.Errorf("product popularity not skewed: top %d vs median %d", deg[0], deg[50])
+	}
+}

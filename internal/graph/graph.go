@@ -1,0 +1,349 @@
+// Package graph provides the immutable in-memory graph substrate used by
+// every engine in this repository: a compressed sparse row (CSR)
+// representation with both out- and in-adjacency, optional edge weights,
+// and stable external vertex identifiers.
+//
+// Graphs are constructed through a Builder and immutable afterwards, so
+// they can be shared freely across workers without locks.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID is the external (application-level) identifier of a vertex.
+// Internally vertices are dense int32 indexes in [0, NumVertices).
+type VertexID int64
+
+// Edge is a single directed edge between external vertex identifiers.
+// For undirected graphs an Edge represents both directions.
+type Edge struct {
+	Src, Dst VertexID
+	Weight   float64
+}
+
+// Graph is an immutable directed or undirected graph in CSR form.
+//
+// For undirected graphs every edge appears in the out-adjacency of both
+// endpoints, and the in-adjacency aliases the out-adjacency.
+type Graph struct {
+	directed bool
+
+	ids   []VertexID         // internal index -> external id
+	index map[VertexID]int32 // external id -> internal index
+
+	outOff []int64   // len n+1
+	outDst []int32   // len m (directed) or 2m (undirected)
+	outW   []float64 // parallel to outDst; nil when unweighted
+
+	inOff []int64
+	inSrc []int32
+	inW   []float64
+
+	numEdges int64 // logical edge count (undirected edges counted once)
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.ids) }
+
+// NumEdges returns the number of logical edges (undirected edges are
+// counted once).
+func (g *Graph) NumEdges() int64 { return g.numEdges }
+
+// Weighted reports whether edges carry weights.
+func (g *Graph) Weighted() bool { return g.outW != nil }
+
+// IDOf returns the external identifier of internal vertex v.
+func (g *Graph) IDOf(v int32) VertexID { return g.ids[v] }
+
+// IndexOf returns the internal index of the external identifier id and
+// whether it exists.
+func (g *Graph) IndexOf(id VertexID) (int32, bool) {
+	v, ok := g.index[id]
+	return v, ok
+}
+
+// OutDegree returns the out-degree of internal vertex v.
+func (g *Graph) OutDegree(v int32) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns the in-degree of internal vertex v.
+func (g *Graph) InDegree(v int32) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// Out returns the out-neighbors of v. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) Out(v int32) []int32 { return g.outDst[g.outOff[v]:g.outOff[v+1]] }
+
+// OutWeights returns the weights parallel to Out(v); nil for unweighted
+// graphs.
+func (g *Graph) OutWeights(v int32) []float64 {
+	if g.outW == nil {
+		return nil
+	}
+	return g.outW[g.outOff[v]:g.outOff[v+1]]
+}
+
+// In returns the in-neighbors of v. For undirected graphs In(v) equals
+// Out(v).
+func (g *Graph) In(v int32) []int32 { return g.inSrc[g.inOff[v]:g.inOff[v+1]] }
+
+// InWeights returns the weights parallel to In(v); nil for unweighted
+// graphs.
+func (g *Graph) InWeights(v int32) []float64 {
+	if g.inW == nil {
+		return nil
+	}
+	return g.inW[g.inOff[v]:g.inOff[v+1]]
+}
+
+// Edges calls fn for every logical edge with internal endpoints. For
+// undirected graphs each edge is reported once with src <= dst.
+func (g *Graph) Edges(fn func(src, dst int32, w float64)) {
+	for v := int32(0); v < int32(len(g.ids)); v++ {
+		ws := g.OutWeights(v)
+		for i, u := range g.Out(v) {
+			if !g.directed && u < v {
+				continue
+			}
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			fn(v, u, w)
+		}
+	}
+}
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// Vertices are created implicitly by AddEdge; isolated vertices can be
+// added with AddVertex. The builder may be reused after Build.
+type Builder struct {
+	directed bool
+	weighted bool
+	ids      []VertexID
+	index    map[VertexID]int32
+	srcs     []int32
+	dsts     []int32
+	ws       []float64
+}
+
+// NewBuilder returns a Builder for a directed or undirected graph.
+func NewBuilder(directed bool) *Builder {
+	return &Builder{directed: directed, index: make(map[VertexID]int32)}
+}
+
+// SetWeighted declares that edges carry weights. It is implied by the
+// first call to AddWeightedEdge.
+func (b *Builder) SetWeighted() { b.weighted = true }
+
+// AddVertex ensures id exists and returns its internal index.
+func (b *Builder) AddVertex(id VertexID) int32 {
+	if v, ok := b.index[id]; ok {
+		return v
+	}
+	v := int32(len(b.ids))
+	b.ids = append(b.ids, id)
+	b.index[id] = v
+	return v
+}
+
+// AddEdge adds an unweighted edge (weight 1).
+func (b *Builder) AddEdge(src, dst VertexID) {
+	s, d := b.AddVertex(src), b.AddVertex(dst)
+	b.srcs = append(b.srcs, s)
+	b.dsts = append(b.dsts, d)
+	b.ws = append(b.ws, 1)
+}
+
+// AddWeightedEdge adds an edge with the given weight.
+func (b *Builder) AddWeightedEdge(src, dst VertexID, w float64) {
+	b.weighted = true
+	s, d := b.AddVertex(src), b.AddVertex(dst)
+	b.srcs = append(b.srcs, s)
+	b.dsts = append(b.dsts, d)
+	b.ws = append(b.ws, w)
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.ids) }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.srcs) }
+
+// Build produces the immutable Graph. Edge order within an adjacency list
+// is by increasing destination index, with parallel edges preserved.
+func (b *Builder) Build() *Graph {
+	n := len(b.ids)
+	m := len(b.srcs)
+	g := &Graph{
+		directed: b.directed,
+		ids:      append([]VertexID(nil), b.ids...),
+		index:    make(map[VertexID]int32, n),
+		numEdges: int64(m),
+	}
+	for i, id := range g.ids {
+		g.index[id] = int32(i)
+	}
+
+	// Out-adjacency. Undirected graphs store each edge in both lists.
+	outDeg := make([]int64, n+1)
+	for i := 0; i < m; i++ {
+		outDeg[b.srcs[i]+1]++
+		if !b.directed && b.srcs[i] != b.dsts[i] {
+			outDeg[b.dsts[i]+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		outDeg[i+1] += outDeg[i]
+	}
+	g.outOff = outDeg
+	total := g.outOff[n]
+	g.outDst = make([]int32, total)
+	if b.weighted {
+		g.outW = make([]float64, total)
+	}
+	cursor := make([]int64, n)
+	copy(cursor, g.outOff[:n])
+	emit := func(s, d int32, w float64) {
+		p := cursor[s]
+		cursor[s]++
+		g.outDst[p] = d
+		if g.outW != nil {
+			g.outW[p] = w
+		}
+	}
+	for i := 0; i < m; i++ {
+		emit(b.srcs[i], b.dsts[i], b.ws[i])
+		// Undirected edges appear in both endpoint lists; self-loops are
+		// stored once so Edges reports them exactly once.
+		if !b.directed && b.srcs[i] != b.dsts[i] {
+			emit(b.dsts[i], b.srcs[i], b.ws[i])
+		}
+	}
+	sortAdjacency(g.outOff, g.outDst, g.outW, n)
+
+	if b.directed {
+		inDeg := make([]int64, n+1)
+		for i := 0; i < m; i++ {
+			inDeg[b.dsts[i]+1]++
+		}
+		for i := 0; i < n; i++ {
+			inDeg[i+1] += inDeg[i]
+		}
+		g.inOff = inDeg
+		g.inSrc = make([]int32, m)
+		if b.weighted {
+			g.inW = make([]float64, m)
+		}
+		copy(cursor, g.inOff[:n])
+		for i := 0; i < m; i++ {
+			d := b.dsts[i]
+			p := cursor[d]
+			cursor[d]++
+			g.inSrc[p] = b.srcs[i]
+			if g.inW != nil {
+				g.inW[p] = b.ws[i]
+			}
+		}
+		sortAdjacency(g.inOff, g.inSrc, g.inW, n)
+	} else {
+		g.inOff, g.inSrc, g.inW = g.outOff, g.outDst, g.outW
+	}
+	return g
+}
+
+// sortAdjacency sorts each adjacency list by neighbor index, keeping the
+// weight slice parallel.
+func sortAdjacency(off []int64, adj []int32, w []float64, n int) {
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		if hi-lo < 2 {
+			continue
+		}
+		seg := adj[lo:hi]
+		if w == nil {
+			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			continue
+		}
+		wseg := w[lo:hi]
+		sort.Sort(&adjSorter{seg, wseg})
+	}
+}
+
+type adjSorter struct {
+	adj []int32
+	w   []float64
+}
+
+func (s *adjSorter) Len() int           { return len(s.adj) }
+func (s *adjSorter) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// AsUndirected returns g itself when already undirected, or a new
+// undirected graph over the same vertices with one undirected edge per
+// directed edge of g. Connectivity algorithms use it to work on the
+// underlying undirected graph.
+func AsUndirected(g *Graph) *Graph {
+	if !g.directed {
+		return g
+	}
+	b := NewBuilder(false)
+	if g.Weighted() {
+		b.SetWeighted()
+	}
+	for _, id := range g.ids {
+		b.AddVertex(id)
+	}
+	g.Edges(func(src, dst int32, w float64) {
+		if g.Weighted() {
+			b.AddWeightedEdge(g.ids[src], g.ids[dst], w)
+		} else {
+			b.AddEdge(g.ids[src], g.ids[dst])
+		}
+	})
+	return b.Build()
+}
+
+// Relabel returns a copy of g whose internal vertex v becomes perm[v].
+// perm must be a permutation of [0, NumVertices). External identifiers
+// follow their vertices. Relabel is used by partitioners to make each
+// fragment a contiguous index range.
+func Relabel(g *Graph, perm []int32) (*Graph, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation length %d != %d vertices", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("graph: invalid permutation")
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(g.directed)
+	if g.Weighted() {
+		b.SetWeighted()
+	}
+	// Pre-create vertices in the new order so ids land at perm positions.
+	newIDs := make([]VertexID, n)
+	for v := 0; v < n; v++ {
+		newIDs[perm[v]] = g.ids[v]
+	}
+	for _, id := range newIDs {
+		b.AddVertex(id)
+	}
+	g.Edges(func(src, dst int32, w float64) {
+		if g.Weighted() {
+			b.AddWeightedEdge(g.ids[src], g.ids[dst], w)
+		} else {
+			b.AddEdge(g.ids[src], g.ids[dst])
+		}
+	})
+	return b.Build(), nil
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a plain text edge-list format:
+//
+//	# directed=<bool> weighted=<bool>
+//	<src> <dst> [<weight>]
+//
+// one edge per line using external vertex identifiers. Isolated vertices
+// are written as "v <id>" lines so a round trip preserves them.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# directed=%t weighted=%t\n", g.Directed(), g.Weighted()); err != nil {
+		return err
+	}
+	deg := make([]int64, g.NumVertices())
+	g.Edges(func(src, dst int32, wt float64) {
+		deg[src]++
+		deg[dst]++
+	})
+	var err error
+	g.Edges(func(src, dst int32, wt float64) {
+		if err != nil {
+			return
+		}
+		if g.Weighted() {
+			_, err = fmt.Fprintf(bw, "%d %d %g\n", g.IDOf(src), g.IDOf(dst), wt)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", g.IDOf(src), g.IDOf(dst))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if deg[v] == 0 {
+			if _, err := fmt.Fprintf(bw, "v %d\n", g.IDOf(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' other than the header are ignored, as are blank lines, so
+// ordinary SNAP-style edge lists also load (defaulting to directed,
+// unweighted unless a third column is present).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	directed := true
+	weighted := false
+	headerSeen := false
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if !headerSeen && strings.Contains(text, "directed=") {
+				headerSeen = true
+				directed = strings.Contains(text, "directed=true")
+				weighted = strings.Contains(text, "weighted=true")
+			}
+			continue
+		}
+		if b == nil {
+			b = NewBuilder(directed)
+			if weighted {
+				b.SetWeighted()
+			}
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "v" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex line", line)
+			}
+			id, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			b.AddVertex(VertexID(id))
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graph: line %d: expected 2 or 3 fields, got %d", line, len(fields))
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if len(fields) == 3 {
+			wt, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			b.AddWeightedEdge(VertexID(src), VertexID(dst), wt)
+		} else {
+			b.AddEdge(VertexID(src), VertexID(dst))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		b = NewBuilder(directed)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,10 @@
+package harness
+
+import "time"
+
+// timeIt measures one invocation of fn in seconds.
+func timeIt(fn func()) float64 {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0).Seconds()
+}

@@ -1,0 +1,201 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aap/internal/core"
+	"aap/internal/mapreduce"
+)
+
+// wordCount is the canonical one-round job.
+func wordCount() mapreduce.Job {
+	return mapreduce.Job{
+		Workers: 4,
+		Rounds: []mapreduce.Round{{
+			Map: func(kv mapreduce.KV, emit func(mapreduce.KV)) {
+				for _, w := range strings.Fields(kv.Value) {
+					emit(mapreduce.KV{Key: w, Value: "1"})
+				}
+			},
+			Reduce: func(key string, values []string, emit func(mapreduce.KV)) {
+				emit(mapreduce.KV{Key: key, Value: strconv.Itoa(len(values))})
+			},
+		}},
+	}
+}
+
+func docs() []mapreduce.KV {
+	return []mapreduce.KV{
+		{Key: "d1", Value: "the quick brown fox"},
+		{Key: "d2", Value: "the lazy dog"},
+		{Key: "d3", Value: "the quick dog jumps"},
+		{Key: "d4", Value: "fox and dog and fox"},
+	}
+}
+
+func TestWordCountMatchesDirect(t *testing.T) {
+	want, err := mapreduce.Run(wordCount(), docs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []core.Mode{core.AAP, core.BSP, core.AP} {
+		got, err := mapreduce.RunOnAAP(wordCount(), docs(), core.Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: got %v want %v", mode, got, want)
+		}
+	}
+}
+
+func TestWordCountValues(t *testing.T) {
+	got, err := mapreduce.RunOnAAP(wordCount(), docs(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]string{}
+	for _, kv := range got {
+		counts[kv.Key] = kv.Value
+	}
+	for word, want := range map[string]string{"the": "3", "fox": "3", "dog": "3", "quick": "2", "and": "2"} {
+		if counts[word] != want {
+			t.Errorf("count[%s] = %s, want %s", word, counts[word], want)
+		}
+	}
+}
+
+// TestTwoRoundJob chains word count with a filter keeping words that
+// appear at least twice, exercising the multi-subroutine branch of the
+// compiled IncEval.
+func TestTwoRoundJob(t *testing.T) {
+	job := wordCount()
+	job.Rounds = append(job.Rounds, mapreduce.Round{
+		Map: func(kv mapreduce.KV, emit func(mapreduce.KV)) {
+			if n, _ := strconv.Atoi(kv.Value); n >= 2 {
+				emit(mapreduce.KV{Key: "frequent", Value: kv.Key})
+			}
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) {
+			emit(mapreduce.KV{Key: key, Value: strings.Join(values, ",")})
+		},
+	})
+	want, err := mapreduce.Run(job, docs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mapreduce.RunOnAAP(job, docs(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if len(got) != 1 || got[0].Key != "frequent" {
+		t.Fatalf("unexpected output %v", got)
+	}
+	if got[0].Value != "and,dog,fox,quick,the" {
+		t.Errorf("frequent words = %q", got[0].Value)
+	}
+}
+
+// TestInvertedIndex exercises string-heavy shuffles.
+func TestInvertedIndex(t *testing.T) {
+	job := mapreduce.Job{
+		Workers: 3,
+		Rounds: []mapreduce.Round{{
+			Map: func(kv mapreduce.KV, emit func(mapreduce.KV)) {
+				for _, w := range strings.Fields(kv.Value) {
+					emit(mapreduce.KV{Key: w, Value: kv.Key})
+				}
+			},
+			Reduce: func(key string, values []string, emit func(mapreduce.KV)) {
+				seen := map[string]bool{}
+				var uniq []string
+				for _, v := range values {
+					if !seen[v] {
+						seen[v] = true
+						uniq = append(uniq, v)
+					}
+				}
+				emit(mapreduce.KV{Key: key, Value: strings.Join(uniq, " ")})
+			},
+		}},
+	}
+	want, err := mapreduce.Run(job, docs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mapreduce.RunOnAAP(job, docs(), core.Options{Mode: core.AP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	idx := map[string]string{}
+	for _, kv := range got {
+		idx[kv.Key] = kv.Value
+	}
+	if idx["fox"] != "d1 d4" {
+		t.Errorf("index[fox] = %q", idx["fox"])
+	}
+}
+
+func TestWorkerCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 9} {
+		job := wordCount()
+		job.Workers = n
+		got, err := mapreduce.RunOnAAP(job, docs(), core.Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, _ := mapreduce.Run(job, docs())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: results diverge", n)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	got, err := mapreduce.RunOnAAP(wordCount(), nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want empty output, got %v", got)
+	}
+}
+
+func TestNoRoundsIsError(t *testing.T) {
+	if _, err := mapreduce.Run(mapreduce.Job{}, docs()); err == nil {
+		t.Error("Run: expected error for empty job")
+	}
+	if _, err := mapreduce.RunOnAAP(mapreduce.Job{}, docs(), core.Options{}); err == nil {
+		t.Error("RunOnAAP: expected error for empty job")
+	}
+}
+
+// TestLargeSkewedKeys stresses the shuffle with many keys hashed to few
+// workers.
+func TestLargeSkewedKeys(t *testing.T) {
+	var input []mapreduce.KV
+	for i := 0; i < 500; i++ {
+		input = append(input, mapreduce.KV{Key: fmt.Sprintf("rec%d", i), Value: fmt.Sprintf("k%d v", i%7)})
+	}
+	want, err := mapreduce.Run(wordCount(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mapreduce.RunOnAAP(wordCount(), input, core.Options{Mode: core.AAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("skewed-key results diverge")
+	}
+}

@@ -1,0 +1,245 @@
+// Package partition implements the edge-cut graph partitioning layer of
+// the GRAPE/AAP model (Section 2 of the paper): strategies that assign
+// vertices to fragments, the renumbering that makes each fragment a
+// contiguous index range of the global graph, border sets
+// (F.I, F.O, F.I', F.O'), and the routing index I_i that maps a border
+// node to the fragments holding a copy of it.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"aap/internal/graph"
+)
+
+// Strategy assigns each vertex of a graph to one of m fragments.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Assign returns, for every internal vertex of g, a fragment id in
+	// [0, m).
+	Assign(g *graph.Graph, m int) []int32
+}
+
+// Fragment is the per-worker view of a partitioned graph: the contiguous
+// range of owned vertices plus the out-border copy set.
+//
+// Border sets follow the paper's notation for edge-cut partitions:
+//
+//	F.I  — owned vertices with an incoming edge from another fragment
+//	F.O' — owned vertices with an outgoing edge to another fragment
+//	F.O  — foreign vertices with an incoming edge from this fragment
+//	       (this fragment holds a copy of them; they form the default
+//	       candidate set C_i)
+//	F.I' — foreign vertices with an outgoing edge into this fragment
+type Fragment struct {
+	ID int
+	// Lo, Hi delimit the owned vertex range [Lo, Hi) in the renumbered
+	// global graph.
+	Lo, Hi int32
+
+	// In is F.I, OutPrime is F.O', Out is F.O, InPrime is F.I'; all hold
+	// global vertex indexes, sorted ascending.
+	In       []int32
+	OutPrime []int32
+	Out      []int32
+	InPrime  []int32
+
+	outSlot map[int32]int32 // global index of an F.O copy -> dense slot
+
+	p *Partitioned
+}
+
+// NumOwned returns the number of vertices owned by the fragment.
+func (f *Fragment) NumOwned() int { return int(f.Hi - f.Lo) }
+
+// Owns reports whether global vertex v is owned by the fragment.
+func (f *Fragment) Owns(v int32) bool { return v >= f.Lo && v < f.Hi }
+
+// OutSlot returns the dense slot of out-border copy v in [0, len(Out)),
+// or -1 if v is not in F.O.
+func (f *Fragment) OutSlot(v int32) int32 {
+	if s, ok := f.outSlot[v]; ok {
+		return s
+	}
+	return -1
+}
+
+// Slots returns the number of local state slots of the fragment: owned
+// vertices followed by the F.O copies. Programs size their per-vertex
+// state by Slots rather than by the global vertex count.
+func (f *Fragment) Slots() int { return f.NumOwned() + len(f.Out) }
+
+// Slot maps global vertex v to its dense local slot: owned vertices map
+// to [0, NumOwned) and F.O copies to [NumOwned, Slots). It returns -1
+// when v is neither owned nor a copy.
+func (f *Fragment) Slot(v int32) int32 {
+	if f.Owns(v) {
+		return v - f.Lo
+	}
+	if s, ok := f.outSlot[v]; ok {
+		return int32(f.NumOwned()) + s
+	}
+	return -1
+}
+
+// Graph returns the renumbered global graph the fragment views.
+func (f *Fragment) Graph() *graph.Graph { return f.p.G }
+
+// Partitioned returns the partition the fragment belongs to.
+func (f *Fragment) Partitioned() *Partitioned { return f.p }
+
+// Partitioned is a graph partitioned into m fragments over a renumbered
+// global graph. Fragment i owns the contiguous vertex range
+// [Ranges[i], Ranges[i+1]).
+type Partitioned struct {
+	G      *graph.Graph
+	M      int
+	Ranges []int32 // length M+1
+	Frags  []*Fragment
+
+	holders  map[int32][]int32
+	strategy string
+}
+
+// Holders returns the fragments (other than the owner) holding a copy of
+// vertex v in their F.O set — the routing index I_i of the paper, used to
+// push an owner's canonical value back to every copy.
+func (p *Partitioned) Holders(v int32) []int32 { return p.holders[v] }
+
+// Strategy returns the name of the strategy that produced the partition.
+func (p *Partitioned) Strategy() string { return p.strategy }
+
+// Owner returns the fragment id owning global vertex v.
+func (p *Partitioned) Owner(v int32) int {
+	// Ranges is sorted; binary search for the fragment whose range holds v.
+	i := sort.Search(p.M, func(i int) bool { return p.Ranges[i+1] > v })
+	return i
+}
+
+// Skew returns ||F_max|| / ||F_median||, the imbalance measure r used in
+// Exp-4 of the paper, with fragment size measured as owned vertices plus
+// owned edges.
+func (p *Partitioned) Skew() float64 {
+	sizes := make([]float64, p.M)
+	for i, f := range p.Frags {
+		var edges int64
+		for v := f.Lo; v < f.Hi; v++ {
+			edges += int64(p.G.OutDegree(v))
+		}
+		sizes[i] = float64(int64(f.NumOwned()) + edges)
+	}
+	sort.Float64s(sizes)
+	med := sizes[p.M/2]
+	if med == 0 {
+		return 1
+	}
+	return sizes[p.M-1] / med
+}
+
+// Build partitions g into m fragments using the strategy: it assigns
+// vertices, relabels the graph so each fragment owns a contiguous range,
+// and computes border sets and the routing index.
+func Build(g *graph.Graph, m int, s Strategy) (*Partitioned, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("partition: need at least 1 fragment, got %d", m)
+	}
+	n := g.NumVertices()
+	assign := s.Assign(g, m)
+	if len(assign) != n {
+		return nil, fmt.Errorf("partition: strategy %s returned %d assignments for %d vertices", s.Name(), len(assign), n)
+	}
+	counts := make([]int32, m+1)
+	for _, fi := range assign {
+		if fi < 0 || int(fi) >= m {
+			return nil, fmt.Errorf("partition: strategy %s assigned invalid fragment %d", s.Name(), fi)
+		}
+		counts[fi+1]++
+	}
+	for i := 0; i < m; i++ {
+		counts[i+1] += counts[i]
+	}
+	ranges := append([]int32(nil), counts...)
+
+	// perm maps old index -> new index; fragment i occupies
+	// [ranges[i], ranges[i+1]).
+	perm := make([]int32, n)
+	cursor := make([]int32, m)
+	copy(cursor, ranges[:m])
+	for v := 0; v < n; v++ {
+		fi := assign[v]
+		perm[v] = cursor[fi]
+		cursor[fi]++
+	}
+	rg, err := graph.Relabel(g, perm)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Partitioned{G: rg, M: m, Ranges: ranges, strategy: s.Name()}
+	p.Frags = make([]*Fragment, m)
+	for i := 0; i < m; i++ {
+		p.Frags[i] = &Fragment{
+			ID:      i,
+			Lo:      ranges[i],
+			Hi:      ranges[i+1],
+			outSlot: make(map[int32]int32),
+			p:       p,
+		}
+	}
+	p.computeBorders()
+	return p, nil
+}
+
+// computeBorders fills the four border sets of each fragment from the
+// renumbered graph.
+func (p *Partitioned) computeBorders() {
+	type borderSets struct {
+		in, outPrime, out, inPrime map[int32]bool
+	}
+	sets := make([]borderSets, p.M)
+	for i := range sets {
+		sets[i] = borderSets{
+			in:       make(map[int32]bool),
+			outPrime: make(map[int32]bool),
+			out:      make(map[int32]bool),
+			inPrime:  make(map[int32]bool),
+		}
+	}
+	n := int32(p.G.NumVertices())
+	for v := int32(0); v < n; v++ {
+		fv := p.Owner(v)
+		for _, u := range p.G.Out(v) {
+			fu := p.Owner(u)
+			if fu == fv {
+				continue
+			}
+			// Edge v->u crosses fragments fv -> fu.
+			sets[fv].outPrime[v] = true
+			sets[fv].out[u] = true
+			sets[fu].in[u] = true
+			sets[fu].inPrime[v] = true
+		}
+	}
+	p.holders = make(map[int32][]int32)
+	for i, f := range p.Frags {
+		f.In = sortedKeys(sets[i].in)
+		f.OutPrime = sortedKeys(sets[i].outPrime)
+		f.Out = sortedKeys(sets[i].out)
+		f.InPrime = sortedKeys(sets[i].inPrime)
+		for slot, v := range f.Out {
+			f.outSlot[v] = int32(slot)
+			p.holders[v] = append(p.holders[v], int32(i))
+		}
+	}
+}
+
+func sortedKeys(m map[int32]bool) []int32 {
+	ks := make([]int32, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

@@ -1,0 +1,254 @@
+package sim_test
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"aap/internal/algo/cc"
+	"aap/internal/algo/pagerank"
+	"aap/internal/algo/ref"
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/gen"
+	"aap/internal/graph"
+	"aap/internal/partition"
+	"aap/internal/sim"
+)
+
+func mustPartition(t testing.TB, g *graph.Graph, m int, s partition.Strategy) *partition.Partitioned {
+	t.Helper()
+	p, err := partition.Build(g, m, s)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	return p
+}
+
+func TestSimSSSPCorrectAllModes(t *testing.T) {
+	g := gen.PowerLaw(400, 5, 2.1, true, 11)
+	want := ref.SSSP(g, 0)
+	p := mustPartition(t, g, 6, partition.Hash{})
+	for _, mode := range []core.Mode{core.AAP, core.BSP, core.AP, core.SSP, core.Hsync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res, err := sim.Run(p, sssp.Job(0), sim.Config{Mode: mode, Staleness: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				id := p.G.IDOf(int32(v))
+				orig, _ := g.IndexOf(id)
+				got, w := res.Values[v], want[orig]
+				if got != w && !(math.IsInf(got, 1) && math.IsInf(w, 1)) {
+					t.Fatalf("vertex %d: got %v want %v", id, got, w)
+				}
+			}
+		})
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	g := gen.PowerLaw(300, 5, 2.1, true, 13)
+	p := mustPartition(t, g, 5, partition.Hash{})
+	cfg := sim.Config{Mode: core.AAP, Trace: true, Speed: []float64{1, 1, 3, 1, 1}}
+	r1, err := sim.Run(p, sssp.Job(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(p, sssp.Job(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Seconds != r2.Stats.Seconds {
+		t.Fatalf("nondeterministic makespan: %v vs %v", r1.Stats.Seconds, r2.Stats.Seconds)
+	}
+	if !reflect.DeepEqual(sim.SortedCopy(r1.Trace), sim.SortedCopy(r2.Trace)) {
+		t.Fatal("nondeterministic trace")
+	}
+	if !reflect.DeepEqual(r1.Values, r2.Values) {
+		t.Fatal("nondeterministic values")
+	}
+}
+
+// TestSimBSPBehavesLikeBarriers checks the BSP special case on a
+// workload where every fragment stays active until global convergence
+// (PageRank on a power-law graph): active workers move in lockstep, so
+// round counts stay close, the straggler is the busiest worker, and the
+// fast workers idle more under BSP than under AP.
+func TestSimBSPBehavesLikeBarriers(t *testing.T) {
+	g := gen.PowerLaw(800, 6, 2.1, false, 17)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	speed := []float64{1, 1, 1, 2.5}
+	job := pagerank.Job(pagerank.Config{Tol: 1e-7})
+	bsp, err := sim.Run(p, job, sim.Config{Mode: core.BSP, Speed: speed, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := sim.Run(p, job, sim.Config{Mode: core.AP, Speed: speed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := bsp.Stats
+	if st.MaxRound-st.MinRound > 2 {
+		t.Errorf("BSP rounds spread too far: max %d min %d", st.MaxRound, st.MinRound)
+	}
+	var maxBusy float64
+	for _, w := range st.Workers {
+		if w.BusySeconds > maxBusy {
+			maxBusy = w.BusySeconds
+		}
+	}
+	if st.Workers[3].BusySeconds != maxBusy {
+		t.Errorf("straggler is not the busiest worker")
+	}
+	// Fast workers wait at barriers under BSP; AP never waits, so the
+	// fast workers' idle share must be higher under BSP.
+	bspIdle := st.Workers[0].IdleSeconds / st.Seconds
+	apIdle := ap.Stats.Workers[0].IdleSeconds / ap.Stats.Seconds
+	if bspIdle <= apIdle {
+		t.Errorf("BSP fast-worker idle share %.2f not above AP's %.2f", bspIdle, apIdle)
+	}
+}
+
+// TestSimAAPNoSlowerThanBSPWithStraggler checks the headline claim on a
+// skewed run: AAP's makespan is no worse than BSP's.
+func TestSimAAPNoSlowerThanBSPWithStraggler(t *testing.T) {
+	g := gen.PowerLaw(2000, 8, 2.1, true, 19)
+	p := mustPartition(t, g, 8, partition.Hash{})
+	speed := []float64{1, 1, 1, 1, 1, 1, 1, 4}
+	var mk [2]float64
+	for i, mode := range []core.Mode{core.AAP, core.BSP} {
+		res, err := sim.Run(p, sssp.Job(0), sim.Config{Mode: mode, Speed: speed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk[i] = res.Stats.Seconds
+	}
+	if mk[0] > mk[1]*1.05 {
+		t.Errorf("AAP (%.3f) slower than BSP (%.3f) on a straggler-heavy run", mk[0], mk[1])
+	}
+}
+
+func TestSimPageRankMatchesReference(t *testing.T) {
+	g := gen.PowerLaw(300, 5, 2.1, false, 23)
+	want := ref.PageRank(g, 0.85, 1e-9, 500)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	for _, mode := range []core.Mode{core.AAP, core.BSP, core.AP} {
+		res, err := sim.Run(p, pagerank.Job(pagerank.Config{Tol: 1e-10}), sim.Config{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			id := p.G.IDOf(int32(v))
+			orig, _ := g.IndexOf(id)
+			if d := math.Abs(res.Values[v] - want[orig]); d > 1e-5 {
+				t.Fatalf("%s vertex %d: got %v want %v", mode, id, res.Values[v], want[orig])
+			}
+		}
+	}
+}
+
+// TestSimChurchRosser: different modes and straggler profiles must reach
+// identical fixpoints for monotone jobs (Theorem 2).
+func TestSimChurchRosser(t *testing.T) {
+	g := gen.SmallWorld(500, 3, 0.1, true, 29)
+	p := mustPartition(t, g, 7, partition.BFSLocality{})
+	var first []int64
+	for i, cfg := range []sim.Config{
+		{Mode: core.AAP},
+		{Mode: core.AP},
+		{Mode: core.BSP},
+		{Mode: core.SSP, Staleness: 1},
+		{Mode: core.AAP, Speed: []float64{5, 1, 1, 1, 1, 1, 1}},
+		{Mode: core.AP, Speed: []float64{1, 1, 9, 1, 1, 1, 1}},
+		{Mode: core.AAP, LFloor: 3},
+	} {
+		res, err := sim.Run(p, cc.Job(), cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if first == nil {
+			first = res.Values
+			continue
+		}
+		if !reflect.DeepEqual(first, res.Values) {
+			t.Fatalf("config %d diverged from first fixpoint", i)
+		}
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	trace := []sim.Interval{
+		{Worker: 0, Round: 0, Start: 0, End: 3},
+		{Worker: 1, Round: 0, Start: 0, End: 6},
+		{Worker: 0, Round: 1, Start: 4, End: 7},
+	}
+	s := sim.RenderTrace(trace, 2, 20)
+	if s == "(empty trace)\n" {
+		t.Fatal("unexpected empty render")
+	}
+	for _, want := range []string{"P1", "P2", "#"} {
+		if !contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+	sum := sim.TraceSummary(trace, 2)
+	if !contains(sum, "P1") || !contains(sum, "2") {
+		t.Errorf("summary missing fields:\n%s", sum)
+	}
+	if got := sim.RoundsOf(trace, 2); got[0] != 2 || got[1] != 1 {
+		t.Errorf("RoundsOf = %v", got)
+	}
+	if sim.Makespan(trace) != 7 {
+		t.Errorf("Makespan = %v", sim.Makespan(trace))
+	}
+	if sim.RenderTrace(nil, 2, 20) != "(empty trace)\n" {
+		t.Error("empty trace should render placeholder")
+	}
+}
+
+// TestSimStragglerReducesRoundsUnderAAP reproduces the mechanism of
+// Example 4: under AAP a straggler accumulates updates and converges in
+// no more rounds than under AP.
+func TestSimStragglerReducesRoundsUnderAAP(t *testing.T) {
+	g := gen.PowerLaw(3000, 6, 2.1, true, 31)
+	p := mustPartition(t, g, 8, partition.Hash{})
+	speed := []float64{1, 1, 1, 1, 1, 1, 1, 6}
+	rounds := map[core.Mode]int32{}
+	for _, mode := range []core.Mode{core.AAP, core.AP} {
+		res, err := sim.Run(p, sssp.Job(0), sim.Config{Mode: mode, Speed: speed, LFloor: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds[mode] = res.Stats.Workers[7].Rounds
+	}
+	if rounds[core.AAP] > rounds[core.AP] {
+		t.Errorf("straggler rounds: AAP %d > AP %d", rounds[core.AAP], rounds[core.AP])
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func ExampleRenderTrace() {
+	trace := []sim.Interval{
+		{Worker: 0, Round: 0, Start: 0, End: 1},
+		{Worker: 1, Round: 0, Start: 0, End: 2},
+	}
+	fmt.Print(sim.RenderTrace(trace, 2, 10))
+	// Output:
+	// time 0 .. 2.00 (virtual seconds), '#' computing, '.' waiting
+	// P1   |#####.....|
+	// P2   |##########|
+}

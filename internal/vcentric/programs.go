@@ -1,0 +1,126 @@
+package vcentric
+
+import (
+	"math"
+
+	"aap/internal/graph"
+)
+
+// SSSPProgram is vertex-centric single-source shortest paths: values are
+// tentative distances, messages are candidate distances, min-combined.
+// Without a priority queue the label-correcting behavior wastes work on
+// long-path graphs, the penalty the paper measures on traffic.
+type SSSPProgram struct {
+	// Source is the external id of the source vertex.
+	Source graph.VertexID
+}
+
+// Init implements Program: only the source is active.
+func (p SSSPProgram) Init(g *graph.Graph, v int32) (float64, bool) {
+	if s, ok := g.IndexOf(p.Source); ok && s == v {
+		return 0, true
+	}
+	return math.Inf(1), false
+}
+
+// Compute implements Program.
+func (p SSSPProgram) Compute(_ *graph.Graph, _ int32, val, msg float64, initial bool) (float64, float64, bool) {
+	if initial {
+		return val, val, true
+	}
+	if msg < val {
+		return msg, msg, true
+	}
+	return val, 0, false
+}
+
+// Message implements Program: candidate distance through the edge.
+func (p SSSPProgram) Message(_ *graph.Graph, _, _ int32, w, out float64) float64 { return out + w }
+
+// Combine implements Program.
+func (p SSSPProgram) Combine(a, b float64) float64 { return math.Min(a, b) }
+
+// Finalize implements Program.
+func (p SSSPProgram) Finalize(_ *graph.Graph, _ int32, val float64) float64 { return val }
+
+// CCProgram is vertex-centric connected components by min-label
+// propagation. Run it on an undirected graph so Out covers both
+// directions. Values are component ids, initially the external vertex id.
+type CCProgram struct{}
+
+// Init implements Program: every vertex is active with its own id.
+func (CCProgram) Init(g *graph.Graph, v int32) (float64, bool) {
+	return float64(g.IDOf(v)), true
+}
+
+// Compute implements Program.
+func (CCProgram) Compute(_ *graph.Graph, _ int32, val, msg float64, initial bool) (float64, float64, bool) {
+	if initial {
+		return val, val, true
+	}
+	if msg < val {
+		return msg, msg, true
+	}
+	return val, 0, false
+}
+
+// Message implements Program: propagate the candidate component id.
+func (CCProgram) Message(_ *graph.Graph, _, _ int32, _ float64, out float64) float64 { return out }
+
+// Combine implements Program.
+func (CCProgram) Combine(a, b float64) float64 { return math.Min(a, b) }
+
+// Finalize implements Program.
+func (CCProgram) Finalize(_ *graph.Graph, _ int32, val float64) float64 { return val }
+
+// PageRankProgram is the delta-accumulative PageRank of Maiter: values
+// are accumulated scores, messages carry rank deltas combined by
+// addition, and propagation stops below Tol. The fixpoint matches the
+// paper's P_v = Σ_paths p(v) + (1-d) formulation.
+type PageRankProgram struct {
+	// Damping is d (0.85 when zero) and Tol the propagation threshold
+	// (1e-6 when zero).
+	Damping float64
+	Tol     float64
+}
+
+func (p PageRankProgram) params() (float64, float64) {
+	d, tol := p.Damping, p.Tol
+	if d == 0 {
+		d = 0.85
+	}
+	if tol == 0 {
+		tol = 1e-6
+	}
+	return d, tol
+}
+
+// Init implements Program: score 0, all vertices active.
+func (p PageRankProgram) Init(_ *graph.Graph, _ int32) (float64, bool) { return 0, true }
+
+// Compute implements Program: fold the incoming delta into the score and
+// forward it if above tolerance; the initial pass injects 1-d.
+func (p PageRankProgram) Compute(g *graph.Graph, v int32, val, msg float64, initial bool) (float64, float64, bool) {
+	d, tol := p.params()
+	delta := msg
+	if initial {
+		delta = 1 - d
+	}
+	newVal := val + delta
+	if delta <= tol || g.OutDegree(v) == 0 {
+		return newVal, 0, false
+	}
+	return newVal, delta, true
+}
+
+// Message implements Program: each out-neighbor receives d*delta/N.
+func (p PageRankProgram) Message(g *graph.Graph, v, _ int32, _ float64, out float64) float64 {
+	d, _ := p.params()
+	return d * out / float64(g.OutDegree(v))
+}
+
+// Combine implements Program.
+func (PageRankProgram) Combine(a, b float64) float64 { return a + b }
+
+// Finalize implements Program.
+func (PageRankProgram) Finalize(_ *graph.Graph, _ int32, val float64) float64 { return val }

@@ -1,0 +1,387 @@
+// Package vcentric implements vertex-centric graph processing engines in
+// the style of the systems the paper compares against in Table 1:
+// a synchronous superstep engine (Pregel/Giraph, GraphLab-sync), an
+// asynchronous engine with immediate message visibility (GraphLab-async,
+// and with delta-accumulative programs, Maiter), and a hybrid engine that
+// switches between the two (PowerSwitch/Hsync).
+//
+// Unlike the fragment-centric PIE programs of internal/core, programs
+// here compute one vertex at a time, messages are generated per edge
+// (combined only at the destination), and no sequential-algorithm
+// optimizations (priority queues, union-find, incremental fragment
+// evaluation) are available — the cost profile the paper attributes the
+// Table 1 gaps to.
+package vcentric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aap/internal/graph"
+)
+
+// Mode selects the engine variant.
+type Mode int
+
+// Engine variants.
+const (
+	// Sync runs Pregel-style supersteps with a global barrier.
+	Sync Mode = iota
+	// Async gives every shard immediate access to incoming messages.
+	Async
+	// HsyncMode runs a synchronous warm-up phase and switches to
+	// asynchronous execution, the coarse-grained PowerSwitch strategy.
+	HsyncMode
+)
+
+// String returns the conventional name of the engine variant.
+func (m Mode) String() string {
+	switch m {
+	case Sync:
+		return "sync"
+	case Async:
+		return "async"
+	case HsyncMode:
+		return "hsync"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Program is a vertex program over float64 vertex values, the common
+// denominator of the Table 1 workloads (distances, component ids, rank
+// deltas).
+type Program interface {
+	// Init returns the initial value of vertex v and whether v is active
+	// in the initial superstep.
+	Init(g *graph.Graph, v int32) (val float64, active bool)
+	// Compute updates an active vertex. msg is the combined incoming
+	// message; initial marks the activation pass, where msg is
+	// meaningless. It returns the new value, the basis handed to Message
+	// for outgoing edges (the new distance for SSSP, the delta for
+	// accumulative PageRank), and whether to notify out-neighbors.
+	Compute(g *graph.Graph, v int32, val, msg float64, initial bool) (newVal, out float64, send bool)
+	// Message returns the value sent to neighbor u over an edge of
+	// weight w, given the out basis returned by Compute.
+	Message(g *graph.Graph, v, u int32, w, out float64) float64
+	// Combine folds two messages for the same destination; it must be
+	// associative and commutative.
+	Combine(a, b float64) float64
+	// Finalize maps the converged internal value to the reported value.
+	Finalize(g *graph.Graph, v int32, val float64) float64
+}
+
+// Stats reports the cost of a run.
+type Stats struct {
+	Mode       string
+	Seconds    float64
+	Supersteps int
+	Msgs       int64 // per-edge messages before combining
+	Bytes      int64 // 16 bytes per message (dst + value)
+	Updates    int64 // vertex Compute invocations
+}
+
+// Options configures a run.
+type Options struct {
+	Mode   Mode
+	Shards int // parallel shards; default 4
+	// MaxSupersteps bounds sync runs; default 1 << 20.
+	MaxSupersteps int
+	// HsyncWindow is the number of synchronous supersteps before the
+	// hybrid engine switches to asynchronous execution; default 5.
+	HsyncWindow int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.MaxSupersteps <= 0 {
+		o.MaxSupersteps = 1 << 20
+	}
+	if o.HsyncWindow <= 0 {
+		o.HsyncWindow = 5
+	}
+	return o
+}
+
+const msgBytes = 16
+
+// state is the engine-independent computation state, letting the hybrid
+// engine hand a partially converged run from one engine to the other:
+// current values plus the combined pending real message per vertex.
+type state struct {
+	vals []float64
+	msg  []float64
+	has  []bool
+}
+
+// Run executes prog on g and returns the finalized vertex values.
+func Run(g *graph.Graph, prog Program, opts Options) ([]float64, Stats, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n := g.NumVertices()
+	st := &state{vals: make([]float64, n), msg: make([]float64, n), has: make([]bool, n)}
+	for v := 0; v < n; v++ {
+		st.vals[v], _ = prog.Init(g, int32(v))
+	}
+	var stats Stats
+	switch opts.Mode {
+	case Sync:
+		stats = runSync(g, prog, opts, st, opts.MaxSupersteps, true)
+	case Async:
+		stats = runAsync(g, prog, opts, st, true)
+	case HsyncMode:
+		s1 := runSync(g, prog, opts, st, opts.HsyncWindow, true)
+		s2 := runAsync(g, prog, opts, st, false)
+		stats = Stats{
+			Supersteps: s1.Supersteps,
+			Msgs:       s1.Msgs + s2.Msgs,
+			Bytes:      s1.Bytes + s2.Bytes,
+			Updates:    s1.Updates + s2.Updates,
+		}
+	default:
+		return nil, Stats{}, fmt.Errorf("vcentric: unknown mode %d", opts.Mode)
+	}
+	stats.Mode = opts.Mode.String()
+	stats.Seconds = time.Since(start).Seconds()
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		out[v] = prog.Finalize(g, int32(v), st.vals[v])
+	}
+	return out, stats, nil
+}
+
+// computeVertex runs Compute for one vertex and routes the per-edge
+// messages through emit; it returns (messages generated, updated).
+func computeVertex(g *graph.Graph, prog Program, st *state, v int32, msg float64, initial bool, emit func(u int32, m float64)) int64 {
+	newVal, outBasis, send := prog.Compute(g, v, st.vals[v], msg, initial)
+	st.vals[v] = newVal
+	if !send {
+		return 0
+	}
+	ws := g.OutWeights(v)
+	var n int64
+	for i, u := range g.Out(v) {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		emit(u, prog.Message(g, v, u, w, outBasis))
+		n++
+	}
+	return n
+}
+
+// runSync is the Pregel loop: every superstep processes all vertices with
+// pending messages (or, in the initial superstep, all active vertices),
+// generates per-edge messages, and synchronizes at a global barrier. It
+// mutates st and stops after maxSteps supersteps or quiescence.
+func runSync(g *graph.Graph, prog Program, opts Options, st *state, maxSteps int, initial bool) Stats {
+	n := g.NumVertices()
+	next := make([]float64, n)
+	nextHas := make([]bool, n)
+	var stats Stats
+	var mu sync.Mutex
+
+	if initial {
+		for v := 0; v < n; v++ {
+			_, active := prog.Init(g, int32(v))
+			st.has[v] = active
+		}
+	}
+	first := initial
+	for step := 0; step < maxSteps; step++ {
+		anyActive := false
+		for v := 0; v < n; v++ {
+			if st.has[v] {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			break
+		}
+		stats.Supersteps++
+		var wg sync.WaitGroup
+		per := (n + opts.Shards - 1) / opts.Shards
+		isInit := first
+		for s := 0; s < opts.Shards; s++ {
+			lo, hi := s*per, (s+1)*per
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				local := make(map[int32]float64)
+				var localMsgs, localUpdates int64
+				for v := int32(lo); v < int32(hi); v++ {
+					if !st.has[v] {
+						continue
+					}
+					localUpdates++
+					localMsgs += computeVertex(g, prog, st, v, st.msg[v], isInit, func(u int32, m float64) {
+						if old, ok := local[u]; ok {
+							local[u] = prog.Combine(old, m)
+						} else {
+							local[u] = m
+						}
+					})
+				}
+				mu.Lock()
+				for u, m := range local {
+					if nextHas[u] {
+						next[u] = prog.Combine(next[u], m)
+					} else {
+						next[u] = m
+						nextHas[u] = true
+					}
+				}
+				stats.Msgs += localMsgs
+				stats.Updates += localUpdates
+				mu.Unlock()
+			}(lo, hi)
+		}
+		wg.Wait()
+		first = false
+		st.msg, next = next, st.msg
+		st.has, nextHas = nextHas, st.has
+		for v := range next {
+			next[v] = 0
+			nextHas[v] = false
+		}
+	}
+	stats.Bytes = stats.Msgs * msgBytes
+	return stats
+}
+
+// shard is one asynchronous worker: it owns the vertices v with
+// v mod Shards == id and keeps a combined pending message per vertex.
+type shard struct {
+	id      int
+	mu      sync.Mutex
+	pending map[int32]float64
+	notify  chan struct{}
+}
+
+// put delivers a message, combining with any pending one for the same
+// vertex. pendingCount tracks pending map entries (not raw messages), so
+// it is incremented only on insertion; the processing loop decrements it
+// once per entry.
+func (s *shard) put(v int32, m float64, combine func(a, b float64) float64, pendingCount *atomic.Int64) {
+	s.mu.Lock()
+	if old, ok := s.pending[v]; ok {
+		s.pending[v] = combine(old, m)
+	} else {
+		s.pending[v] = m
+		pendingCount.Add(1)
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *shard) take() map[int32]float64 {
+	s.mu.Lock()
+	p := s.pending
+	s.pending = make(map[int32]float64)
+	s.mu.Unlock()
+	return p
+}
+
+// runAsync processes vertices shard-parallel with immediate message
+// visibility. When initial is true, every active vertex is computed once
+// in an activation pass before the message loop; otherwise the pending
+// messages carried in st seed the queues. Termination: the run ends when
+// every shard is idle and the global pending count is zero.
+func runAsync(g *graph.Graph, prog Program, opts Options, st *state, initial bool) Stats {
+	shards := make([]*shard, opts.Shards)
+	for i := range shards {
+		shards[i] = &shard{id: i, pending: make(map[int32]float64), notify: make(chan struct{}, 1)}
+	}
+	shardOf := func(v int32) *shard { return shards[int(v)%opts.Shards] }
+	var pendingCount atomic.Int64
+	var msgs, updates atomic.Int64
+
+	if initial {
+		// Activation pass, shard-parallel: each shard computes its own
+		// active vertices once and seeds the queues with real messages.
+		var wg sync.WaitGroup
+		wg.Add(len(shards))
+		for i := range shards {
+			go func(id int) {
+				defer wg.Done()
+				for v := int32(id); v < int32(g.NumVertices()); v += int32(opts.Shards) {
+					if _, active := prog.Init(g, v); !active {
+						continue
+					}
+					updates.Add(1)
+					msgs.Add(computeVertex(g, prog, st, v, 0, true, func(u int32, m float64) {
+						shardOf(u).put(u, m, prog.Combine, &pendingCount)
+					}))
+				}
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for v := 0; v < g.NumVertices(); v++ {
+			if st.has[v] {
+				shardOf(int32(v)).put(int32(v), st.msg[v], prog.Combine, &pendingCount)
+				st.has[v] = false
+				st.msg[v] = 0
+			}
+		}
+	}
+
+	var idle atomic.Int32
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	var wg sync.WaitGroup
+	wg.Add(len(shards))
+	for _, s := range shards {
+		go func(s *shard) {
+			defer wg.Done()
+			isIdle := false
+			for {
+				batch := s.take()
+				if len(batch) == 0 {
+					if !isIdle {
+						isIdle = true
+						if idle.Add(1) == int32(len(shards)) && pendingCount.Load() == 0 {
+							closeOnce.Do(func() { close(done) })
+						}
+					}
+					select {
+					case <-s.notify:
+						if isIdle {
+							isIdle = false
+							idle.Add(-1)
+						}
+						continue
+					case <-done:
+						return
+					}
+				}
+				for v, m := range batch {
+					pendingCount.Add(-1)
+					updates.Add(1)
+					msgs.Add(computeVertex(g, prog, st, v, m, false, func(u int32, out float64) {
+						shardOf(u).put(u, out, prog.Combine, &pendingCount)
+					}))
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	stats := Stats{Msgs: msgs.Load(), Updates: updates.Load()}
+	stats.Bytes = stats.Msgs * msgBytes
+	return stats
+}

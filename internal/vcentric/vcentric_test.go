@@ -1,0 +1,116 @@
+package vcentric_test
+
+import (
+	"math"
+	"testing"
+
+	"aap/internal/algo/ref"
+	"aap/internal/gen"
+	"aap/internal/graph"
+	"aap/internal/vcentric"
+)
+
+func modes() []vcentric.Mode {
+	return []vcentric.Mode{vcentric.Sync, vcentric.Async, vcentric.HsyncMode}
+}
+
+func TestVertexCentricSSSP(t *testing.T) {
+	g := gen.PowerLaw(400, 5, 2.1, true, 41)
+	want := ref.SSSP(g, 0)
+	for _, mode := range modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			got, stats, err := vcentric.Run(g, vcentric.SSSPProgram{Source: 0}, vcentric.Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] && !(math.IsInf(got[v], 1) && math.IsInf(want[v], 1)) {
+					t.Fatalf("vertex %d: got %v want %v", v, got[v], want[v])
+				}
+			}
+			if stats.Updates == 0 {
+				t.Error("no updates recorded")
+			}
+		})
+	}
+}
+
+func TestVertexCentricCC(t *testing.T) {
+	g := gen.SmallWorld(300, 2, 0.05, false, 43)
+	want := ref.CC(g)
+	for _, mode := range modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			got, _, err := vcentric.Run(g, vcentric.CCProgram{}, vcentric.Options{Mode: mode, Shards: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if int64(got[v]) != want[v] {
+					t.Fatalf("vertex %d: got cid %v want %d", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestVertexCentricPageRank(t *testing.T) {
+	g := gen.PowerLaw(300, 5, 2.1, false, 47)
+	want := ref.PageRank(g, 0.85, 1e-9, 500)
+	for _, mode := range modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			got, _, err := vcentric.Run(g, vcentric.PageRankProgram{Tol: 1e-10}, vcentric.Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if d := math.Abs(got[v] - want[v]); d > 1e-5 {
+					t.Fatalf("vertex %d: got %v want %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestSyncCountsPerEdgeMessages pins the vertex-centric cost model: a
+// star graph's center activation sends one message per edge.
+func TestSyncCountsPerEdgeMessages(t *testing.T) {
+	b := graph.NewBuilder(true)
+	b.SetWeighted()
+	for i := 1; i <= 10; i++ {
+		b.AddWeightedEdge(0, graph.VertexID(i), 1)
+	}
+	g := b.Build()
+	_, stats, err := vcentric.Run(g, vcentric.SSSPProgram{Source: 0}, vcentric.Options{Mode: vcentric.Sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Msgs != 10 {
+		t.Errorf("want 10 per-edge messages, got %d", stats.Msgs)
+	}
+	if stats.Bytes != 160 {
+		t.Errorf("want 160 bytes, got %d", stats.Bytes)
+	}
+	if stats.Supersteps != 2 {
+		t.Errorf("want 2 supersteps (activate + drain), got %d", stats.Supersteps)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(false).Build()
+	for _, mode := range modes() {
+		got, _, err := vcentric.Run(g, vcentric.CCProgram{}, vcentric.Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Errorf("%s: want empty result, got %d values", mode, len(got))
+		}
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	g := gen.Grid(3, 3, 1)
+	if _, _, err := vcentric.Run(g, vcentric.CCProgram{}, vcentric.Options{Mode: vcentric.Mode(99)}); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}
