@@ -1,0 +1,3 @@
+module aap
+
+go 1.24

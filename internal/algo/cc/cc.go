@@ -43,12 +43,21 @@ type program struct {
 	// copiesOf lists, for each root slot, the F.O copies linked to it;
 	// the local forest is fixed after PEval (no new local edges appear),
 	// so the lists are computed once.
-	copiesOf map[int32][]int32
+	copiesOf [][]int32
+
+	// changedRoots/rootChanged are the reusable scratch IncEval uses to
+	// dedup lowered roots, replacing a per-round map.
+	changedRoots []int32
+	rootChanged  []bool
 }
 
 func newProgram(f *partition.Fragment) *program {
 	n := f.Slots()
-	p := &program{f: f, g: f.Graph(), parent: make([]int32, n), cid: make([]int64, n)}
+	p := &program{f: f, g: f.Graph(),
+		parent:      make([]int32, n),
+		cid:         make([]int64, n),
+		rootChanged: make([]bool, n),
+	}
 	for i := range p.parent {
 		p.parent[i] = int32(i)
 	}
@@ -107,7 +116,7 @@ func (p *program) PEval(ctx *core.Context[int64]) {
 		assign(v)
 	}
 	// Link copies to their roots once and for all.
-	p.copiesOf = make(map[int32][]int32)
+	p.copiesOf = make([][]int32, f.Slots())
 	for _, v := range f.Out {
 		r := p.find(f.Slot(v))
 		p.copiesOf[r] = append(p.copiesOf[r], v)
@@ -121,7 +130,6 @@ func (p *program) PEval(ctx *core.Context[int64]) {
 // every decrease to the owners of the copies linked to the changed roots
 // — the bounded incremental step of Figure 3.
 func (p *program) IncEval(msgs []core.VMsg[int64], ctx *core.Context[int64]) {
-	changed := make(map[int32]bool)
 	for _, m := range msgs {
 		slot := p.f.Slot(m.V)
 		if slot < 0 {
@@ -130,17 +138,22 @@ func (p *program) IncEval(msgs []core.VMsg[int64], ctx *core.Context[int64]) {
 		r := p.find(slot)
 		if m.Val < p.cid[r] {
 			p.cid[r] = m.Val
-			changed[r] = true
+			if !p.rootChanged[r] {
+				p.rootChanged[r] = true
+				p.changedRoots = append(p.changedRoots, r)
+			}
 		}
 	}
 	ctx.AddWork(len(msgs))
-	for r := range changed {
+	for _, r := range p.changedRoots {
+		p.rootChanged[r] = false
 		copies := p.copiesOf[r]
 		ctx.AddWork(len(copies))
 		for _, v := range copies {
 			ctx.Send(v, p.cid[r])
 		}
 	}
+	p.changedRoots = p.changedRoots[:0]
 }
 
 // Get returns the cid of owned vertex v.

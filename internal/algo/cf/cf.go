@@ -177,8 +177,11 @@ func (p *program) IncEval(msgs []core.VMsg[Val], ctx *core.Context[Val]) {
 				p.factor[s][k] = (p.factor[s][k]*own + m.Val.Vec[k]) / tot
 			}
 		} else {
-			// Copies adopt the owner's canonical mean.
-			copy(p.factor[s], m.Val.Mean())
+			// Copies adopt the owner's canonical mean, divided in place to
+			// avoid materializing the Mean() vector.
+			for k := range p.factor[s] {
+				p.factor[s][k] = m.Val.Vec[k] / m.Val.Weight
+			}
 		}
 	}
 	ctx.AddWork(len(msgs))

@@ -53,7 +53,7 @@ type program struct {
 
 	score []float64
 	delta []float64
-	queue []int32 // owned vertices with pending delta above Tol
+	queue []int32 // slots of owned vertices with pending delta above Tol
 	inQ   []bool
 }
 
@@ -96,16 +96,18 @@ func (p *program) Get(v int32) float64 {
 }
 
 // add accumulates a delta on a local vertex and enqueues owned vertices
-// whose pending mass crosses the propagation threshold.
+// whose pending mass crosses the propagation threshold. Owned vertices
+// occupy slots [0, NumOwned), so the queue stores slots and push maps
+// them back to v = Lo + slot without another lookup.
 func (p *program) add(v int32, d float64) {
 	s := p.f.Slot(v)
 	if s < 0 {
 		return
 	}
 	p.delta[s] += d
-	if p.f.Owns(v) && !p.inQ[s] && p.delta[s] > p.cfg.Tol {
+	if s < int32(p.f.NumOwned()) && !p.inQ[s] && p.delta[s] > p.cfg.Tol {
 		p.inQ[s] = true
-		p.queue = append(p.queue, v)
+		p.queue = append(p.queue, s)
 	}
 }
 
@@ -116,8 +118,8 @@ func (p *program) add(v int32, d float64) {
 // tight tolerances.
 func (p *program) push(ctx *core.Context[float64]) {
 	for head := 0; head < len(p.queue); head++ {
-		v := p.queue[head]
-		s := p.f.Slot(v)
+		s := p.queue[head]
+		v := p.f.Lo + s
 		p.inQ[s] = false
 		x := p.delta[s]
 		if x <= p.cfg.Tol {

@@ -5,7 +5,6 @@
 package sssp
 
 import (
-	"container/heap"
 	"math"
 
 	"aap/internal/core"
@@ -31,8 +30,9 @@ func Job(source graph.VertexID) core.Job[float64] {
 }
 
 // program holds the per-fragment state: one distance per local slot
-// (owned vertices then F.O copies) and a priority queue reused across
-// rounds.
+// (owned vertices then F.O copies), a priority queue reused across
+// rounds, and a copy-slot bitmap that dedups border flushes without a
+// per-round map.
 type program struct {
 	f      *partition.Fragment
 	g      *graph.Graph
@@ -41,8 +41,10 @@ type program struct {
 	pq     distHeap
 	// changedCopies records F.O copies improved in the current round, so
 	// flushBorder ships only decreased values (the paper's "v.cid
-	// decreased" message-segment analogue).
+	// decreased" message-segment analogue). copyChanged mirrors it as a
+	// bitmap over copy slots so each copy is recorded at most once.
 	changedCopies []int32
+	copyChanged   []bool
 }
 
 func newProgram(f *partition.Fragment, source graph.VertexID) *program {
@@ -51,6 +53,7 @@ func newProgram(f *partition.Fragment, source graph.VertexID) *program {
 	for i := range p.dist {
 		p.dist[i] = Inf
 	}
+	p.copyChanged = make([]bool, len(f.Out))
 	return p
 }
 
@@ -63,14 +66,13 @@ func (p *program) PEval(ctx *core.Context[float64]) {
 	}
 	p.relax(s, 0)
 	p.dijkstra(ctx)
-	p.flushBorder(ctx, nil)
+	p.flushBorder(ctx)
 }
 
 // IncEval resumes Dijkstra from the owned vertices whose distance the
 // aggregated messages improved; the cost is bounded by the size of the
 // affected area, the bounded-incremental property of [Ramalingam-Reps].
 func (p *program) IncEval(msgs []core.VMsg[float64], ctx *core.Context[float64]) {
-	improved := make(map[int32]bool)
 	for _, m := range msgs {
 		slot := p.f.Slot(m.V)
 		if slot < 0 {
@@ -79,13 +81,12 @@ func (p *program) IncEval(msgs []core.VMsg[float64], ctx *core.Context[float64])
 		if m.Val < p.dist[slot] {
 			p.dist[slot] = m.Val
 			if p.f.Owns(m.V) {
-				heap.Push(&p.pq, distItem{v: m.V, d: m.Val})
-				improved[m.V] = true
+				p.pq.push(distItem{v: m.V, d: m.Val})
 			}
 		}
 	}
 	p.dijkstra(ctx)
-	p.flushBorder(ctx, nil)
+	p.flushBorder(ctx)
 }
 
 // Get returns the current distance of owned vertex v.
@@ -98,17 +99,19 @@ func (p *program) relax(v int32, d float64) bool {
 		return false
 	}
 	p.dist[slot] = d
-	if p.f.Owns(v) {
-		heap.Push(&p.pq, distItem{v: v, d: d})
-	} else {
+	owned := int32(p.f.NumOwned())
+	if slot < owned {
+		p.pq.push(distItem{v: v, d: d})
+	} else if cs := slot - owned; !p.copyChanged[cs] {
+		p.copyChanged[cs] = true
 		p.changedCopies = append(p.changedCopies, v)
 	}
 	return true
 }
 
 func (p *program) dijkstra(ctx *core.Context[float64]) {
-	for p.pq.Len() > 0 {
-		it := heap.Pop(&p.pq).(distItem)
+	for p.pq.len() > 0 {
+		it := p.pq.pop()
 		slot := p.f.Slot(it.v)
 		if it.d > p.dist[slot] {
 			continue
@@ -126,15 +129,14 @@ func (p *program) dijkstra(ctx *core.Context[float64]) {
 	}
 }
 
-// flushBorder sends improved copy distances to their owners.
-func (p *program) flushBorder(ctx *core.Context[float64], _ []int32) {
-	seen := make(map[int32]bool, len(p.changedCopies))
+// flushBorder sends improved copy distances to their owners. The bitmap
+// already dedups entries at relax time, so the flush is a single pass.
+func (p *program) flushBorder(ctx *core.Context[float64]) {
+	owned := int32(p.f.NumOwned())
 	for _, v := range p.changedCopies {
-		if seen[v] {
-			continue
-		}
-		seen[v] = true
-		ctx.Send(v, p.dist[p.f.Slot(v)])
+		slot := p.f.Slot(v)
+		p.copyChanged[slot-owned] = false
+		ctx.Send(v, p.dist[slot])
 	}
 	p.changedCopies = p.changedCopies[:0]
 }
@@ -144,14 +146,46 @@ type distItem struct {
 	d float64
 }
 
+// distHeap is a monomorphic binary min-heap on distance. Unlike
+// container/heap it never boxes items through interface{}, so pushes on
+// the relaxation hot path do not allocate.
 type distHeap struct{ items []distItem }
 
-func (h *distHeap) Len() int           { return len(h.items) }
-func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
-func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
-	it := h.items[len(h.items)-1]
-	h.items = h.items[:len(h.items)-1]
-	return it
+func (h *distHeap) len() int { return len(h.items) }
+
+func (h *distHeap) push(it distItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].d <= h.items[i].d {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.items[l].d < h.items[small].d {
+			small = l
+		}
+		if r < last && h.items[r].d < h.items[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
 }

@@ -82,8 +82,9 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 			eng:     e,
 			frag:    f,
 			prog:    job.New(f),
-			ctx:     newContext[T](f, p.M),
+			ctx:     newContext[T](f, p.M, &e.pool),
 			ctrl:    newController(opts, e.hsync),
+			folder:  NewFolder[T](f),
 			origins: make(map[int32]bool),
 			rng:     rand.New(rand.NewSource(opts.Seed + int64(i)*7919)),
 		}
@@ -138,6 +139,7 @@ type engine[T any] struct {
 	slots   chan struct{} // physical-worker pool
 	coord   coordinator
 	hsync   *hsyncState
+	pool    msgPool[T]    // recycles message slices between senders and receivers
 	done    chan struct{} // closed when the run ends (success or failure)
 
 	rates      []uint64 // per-worker arrival-rate EWMA as float bits
@@ -200,10 +202,13 @@ type batch[T any] struct {
 }
 
 // inbox is the unbounded mailbox B_x̄i of a worker. put never blocks, so
-// message passing cannot deadlock regardless of schedule.
+// message passing cannot deadlock regardless of schedule. Two batch
+// arrays alternate between the producer side and the draining worker, so
+// steady-state rounds append into recycled capacity.
 type inbox[T any] struct {
 	mu      sync.Mutex
 	batches []batch[T]
+	spare   []batch[T]
 	notify  chan struct{}
 }
 
@@ -220,9 +225,20 @@ func (ib *inbox[T]) put(b batch[T]) {
 func (ib *inbox[T]) take() []batch[T] {
 	ib.mu.Lock()
 	bs := ib.batches
-	ib.batches = nil
+	ib.batches = ib.spare
+	ib.spare = nil
 	ib.mu.Unlock()
 	return bs
+}
+
+// release hands a drained batch array back for reuse by put.
+func (ib *inbox[T]) release(bs []batch[T]) {
+	clear(bs) // drop references to the recycled message slices
+	ib.mu.Lock()
+	if ib.spare == nil {
+		ib.spare = bs[:0]
+	}
+	ib.mu.Unlock()
 }
 
 // coordinator tracks relative progress (r_i, r_min, r_max), worker
@@ -230,25 +246,35 @@ func (ib *inbox[T]) take() []batch[T] {
 // is complete when every worker is inactive and every sent message has
 // been consumed — the master's inactive/terminate/ack protocol of
 // Section 3, realized with Mattern-style counters.
+//
+// Round counters, the Mattern sent/consumed pair, and activity flags are
+// atomics, so the per-round hot path (roundDone, addSent, addConsumed)
+// and every progress snapshot (view) run without the global lock. The
+// mutex serializes only activity transitions, which keeps the
+// termination check sound: while it is held with activeCount == 0, no
+// worker can send (sends happen in rounds, which only active workers
+// execute) or consume (drains happen after setActive(true), which blocks
+// on the same mutex), so sent == consumed proves quiescence.
 type coordinator struct {
-	mu          sync.Mutex
-	rounds      []int32
-	active      []bool
-	activeCount int
-	sent        int64
-	consumed    int64
-	done        chan struct{}
-	finished    bool
-	eng         interface{ broadcastProgress() }
+	rounds   []atomic.Int32
+	active   []atomic.Bool
+	activeN  atomic.Int32
+	sent     atomic.Int64
+	consumed atomic.Int64
+
+	mu       sync.Mutex // guards activity transitions and the finish check
+	finished bool
+	done     chan struct{}
+	eng      interface{ broadcastProgress() }
 }
 
 func (c *coordinator) init(m int, eng interface{ broadcastProgress() }) {
-	c.rounds = make([]int32, m)
-	c.active = make([]bool, m)
+	c.rounds = make([]atomic.Int32, m)
+	c.active = make([]atomic.Bool, m)
 	for i := range c.active {
-		c.active[i] = true
+		c.active[i].Store(true)
 	}
-	c.activeCount = m
+	c.activeN.Store(int32(m))
 	c.done = make(chan struct{})
 	c.eng = eng
 }
@@ -265,37 +291,25 @@ func (c *coordinator) forceDone() {
 }
 
 func (c *coordinator) roundDone(id int) int32 {
-	c.mu.Lock()
-	c.rounds[id]++
-	r := c.rounds[id]
-	c.mu.Unlock()
+	r := c.rounds[id].Add(1)
 	c.eng.broadcastProgress()
 	return r
 }
 
-func (c *coordinator) addSent(n int64) {
-	c.mu.Lock()
-	c.sent += n
-	c.mu.Unlock()
-}
-
-func (c *coordinator) addConsumed(n int64) {
-	c.mu.Lock()
-	c.consumed += n
-	c.mu.Unlock()
-}
+func (c *coordinator) addSent(n int64)     { c.sent.Add(n) }
+func (c *coordinator) addConsumed(n int64) { c.consumed.Add(n) }
 
 func (c *coordinator) setActive(id int, active bool) {
 	c.mu.Lock()
-	if c.active[id] != active {
-		c.active[id] = active
+	if c.active[id].Load() != active {
+		c.active[id].Store(active)
 		if active {
-			c.activeCount++
+			c.activeN.Add(1)
 		} else {
-			c.activeCount--
+			c.activeN.Add(-1)
 		}
 	}
-	fire := !active && c.activeCount == 0 && c.sent == c.consumed && !c.finished
+	fire := !active && c.activeN.Load() == 0 && c.sent.Load() == c.consumed.Load() && !c.finished
 	if fire {
 		c.finished = true
 		close(c.done)
@@ -307,21 +321,22 @@ func (c *coordinator) setActive(id int, active bool) {
 }
 
 // view returns (r_min over active workers, r_max over all workers). When
-// no worker is active r_min falls back to the caller's round.
+// no worker is active r_min falls back to the caller's round. The
+// snapshot is advisory (controllers tolerate slight staleness), so it
+// reads the atomics without taking the lock.
 func (c *coordinator) view(self int) (rmin, rmax int32) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	rmin = int32(math.MaxInt32)
-	for i, r := range c.rounds {
+	for i := range c.rounds {
+		r := c.rounds[i].Load()
 		if r > rmax {
 			rmax = r
 		}
-		if c.active[i] && r < rmin {
+		if c.active[i].Load() && r < rmin {
 			rmin = r
 		}
 	}
 	if rmin == int32(math.MaxInt32) {
-		rmin = c.rounds[self]
+		rmin = c.rounds[self].Load()
 	}
 	return rmin, rmax
 }
@@ -337,12 +352,13 @@ func (e *engine[T]) broadcastProgress() {
 
 // worker is one virtual worker P_i.
 type worker[T any] struct {
-	id   int
-	eng  *engine[T]
-	frag *partition.Fragment
-	prog Program[T]
-	ctx  *Context[T]
-	ctrl Controller
+	id     int
+	eng    *engine[T]
+	frag   *partition.Fragment
+	prog   Program[T]
+	ctx    *Context[T]
+	ctrl   Controller
+	folder *Folder[T]
 
 	inbox    inbox[T]
 	progress chan struct{}
@@ -447,6 +463,9 @@ func (w *worker[T]) wait(d float64) wakeReason {
 func (w *worker[T]) drain() {
 	bs := w.inbox.take()
 	if len(bs) == 0 {
+		if bs != nil {
+			w.inbox.release(bs)
+		}
 		return
 	}
 	n := 0
@@ -454,7 +473,9 @@ func (w *worker[T]) drain() {
 		n += len(b.msgs)
 		w.buffer = append(w.buffer, b.msgs...)
 		w.origins[b.from] = true
+		w.eng.pool.put(b.msgs)
 	}
+	w.inbox.release(bs)
 	w.stats.MsgsRecv += int64(n)
 	w.eng.coord.addConsumed(int64(n))
 	if w.eng.hsync != nil {
@@ -507,7 +528,7 @@ func (w *worker[T]) execRound(peval bool) {
 	if peval {
 		w.prog.PEval(w.ctx)
 	} else {
-		msgs := FoldMessages(w.buffer, e.job.Aggregate)
+		msgs := w.folder.Fold(w.buffer, e.job.Aggregate)
 		w.buffer = w.buffer[:0]
 		for k := range w.origins {
 			delete(w.origins, k)
@@ -538,6 +559,7 @@ func (w *worker[T]) execRound(peval bool) {
 		}
 		e.deliver(w.id, j, msgs, extra)
 	}
+	w.ctx.ReleaseOut(out)
 	w.rounds = e.coord.roundDone(w.id)
 	w.stats.Rounds = w.rounds
 	w.lastRoundEnd = time.Now()

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aap/internal/gen"
+	"aap/internal/partition"
+)
+
+// benchBuffer builds a message buffer addressed at fragment frag: msgs
+// messages drawn over the fragment's owned vertices and F.O copies, with
+// duplicates and out-of-order rounds, as an IncEval round would see.
+func benchBuffer(frag *partition.Fragment, msgs int, seed int64) []VMsg[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	owned := int(frag.Hi - frag.Lo)
+	buf := make([]VMsg[float64], msgs)
+	for i := range buf {
+		var v int32
+		if nOut := len(frag.Out); nOut > 0 && rng.Intn(4) == 0 {
+			v = frag.Out[rng.Intn(nOut)]
+		} else {
+			v = frag.Lo + int32(rng.Intn(owned))
+		}
+		buf[i] = VMsg[float64]{
+			V:     v,
+			Val:   rng.Float64() * 100,
+			Round: int32(rng.Intn(8)),
+			From:  int32(rng.Intn(4)),
+		}
+	}
+	return buf
+}
+
+func benchFragment(b *testing.B) *partition.Fragment {
+	b.Helper()
+	g := gen.Random(20000, 80000, false, 42)
+	p, err := partition.Build(g, 8, partition.Hash{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p.Frags[0]
+}
+
+// BenchmarkFoldMessages measures the fold path the concurrent engine runs
+// every IncEval round: the dense per-worker Folder.
+func BenchmarkFoldMessages(b *testing.B) {
+	frag := benchFragment(b)
+	buf := benchBuffer(frag, 4096, 7)
+	folder := NewFolder[float64](frag)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := folder.Fold(buf, math.Min)
+		if len(out) == 0 {
+			b.Fatal("empty fold")
+		}
+	}
+}
+
+// BenchmarkFoldMessagesGeneric measures the map-based reference fold the
+// dense path replaced (still used for arbitrary routing).
+func BenchmarkFoldMessagesGeneric(b *testing.B) {
+	frag := benchFragment(b)
+	buf := benchBuffer(frag, 4096, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := foldMessagesGeneric(buf, math.Min)
+		if len(out) == 0 {
+			b.Fatal("empty fold")
+		}
+	}
+}

@@ -13,7 +13,9 @@
 package core
 
 import (
+	"slices"
 	"sort"
+	"sync"
 
 	"aap/internal/partition"
 )
@@ -42,8 +44,10 @@ type Program[T any] interface {
 	// aggregated changes msgs to the fragment's update parameters. msgs
 	// holds at most one entry per vertex (the engine folds the buffer
 	// B_x̄i with the job's aggregate function first) in ascending vertex
-	// order. IncEval must run to local quiescence: after it returns with
-	// no new messages the partial result is a local fixpoint.
+	// order. The slice is scratch the engine reuses on the next round:
+	// IncEval may read it freely during the call but must not retain it.
+	// IncEval must run to local quiescence: after it returns with no new
+	// messages the partial result is a local fixpoint.
 	IncEval(msgs []VMsg[T], ctx *Context[T])
 
 	// Get returns the current value for an owned vertex, used by
@@ -83,25 +87,49 @@ func (j *Job[T]) valueBytes(val T) int {
 	return header + j.Bytes(val)
 }
 
+// msgPool recycles message slices between the send side (Context) and
+// the receive side (the engine's inbox drain), so steady-state rounds
+// ship messages without allocating.
+type msgPool[T any] struct{ p sync.Pool }
+
+func (mp *msgPool[T]) get() []VMsg[T] {
+	if v := mp.p.Get(); v != nil {
+		return (*v.(*[]VMsg[T]))[:0]
+	}
+	return make([]VMsg[T], 0, 16)
+}
+
+func (mp *msgPool[T]) put(s []VMsg[T]) {
+	if cap(s) == 0 {
+		return
+	}
+	clear(s) // drop pointer payloads so recycled capacity pins nothing
+	s = s[:0]
+	mp.p.Put(&s)
+}
+
 // Context is the interface a Program uses to talk to its engine: sending
 // designated messages and reporting work for cost accounting.
 type Context[T any] struct {
 	frag  *partition.Fragment
+	part  *partition.Partitioned
 	round int32
 	work  int64
 
-	// out accumulates messages per destination worker within a round.
-	out [][]VMsg[T]
+	// out accumulates messages per destination worker within a round;
+	// spare is the recycled outer array handed back through ReleaseOut.
+	out   [][]VMsg[T]
+	spare [][]VMsg[T]
 
-	owner func(v int32) int
+	pool *msgPool[T]
 }
 
-func newContext[T any](f *partition.Fragment, m int) *Context[T] {
-	p := f.Partitioned()
+func newContext[T any](f *partition.Fragment, m int, pool *msgPool[T]) *Context[T] {
 	return &Context[T]{
-		frag:  f,
-		out:   make([][]VMsg[T], m),
-		owner: p.Owner,
+		frag: f,
+		part: f.Partitioned(),
+		out:  make([][]VMsg[T], m),
+		pool: pool,
 	}
 }
 
@@ -116,19 +144,27 @@ func (c *Context[T]) Round() int32 { return c.round }
 // current round. Sending to the local fragment is allowed and delivered
 // through the local buffer like any other message.
 func (c *Context[T]) Send(v int32, val T) {
-	j := c.owner(v)
-	c.out[j] = append(c.out[j], VMsg[T]{V: v, Val: val, Round: c.round, From: int32(c.frag.ID)})
+	c.push(c.part.Owner(v), VMsg[T]{V: v, Val: val, Round: c.round, From: int32(c.frag.ID)})
+}
+
+// push appends one message to destination j's buffer, lazily drawing a
+// recycled slice from the pool on the first send of the round.
+func (c *Context[T]) push(j int, m VMsg[T]) {
+	if c.out[j] == nil {
+		c.out[j] = c.pool.get()
+	}
+	c.out[j] = append(c.out[j], m)
 }
 
 // SendToHolders ships val to every fragment holding a copy of owned
 // vertex v (the owner-to-copies direction used by collaborative
 // filtering, routed through the index I_i).
 func (c *Context[T]) SendToHolders(v int32, val T) {
-	for _, j := range c.frag.Partitioned().Holders(v) {
+	for _, j := range c.part.Holders(v) {
 		if int(j) == c.frag.ID {
 			continue
 		}
-		c.out[j] = append(c.out[j], VMsg[T]{V: v, Val: val, Round: c.round, From: int32(c.frag.ID)})
+		c.push(int(j), VMsg[T]{V: v, Val: val, Round: c.round, From: int32(c.frag.ID)})
 	}
 }
 
@@ -136,17 +172,19 @@ func (c *Context[T]) SendToHolders(v int32, val T) {
 // routing used by the MapReduce simulation (Theorem 4), where update
 // parameters live on a worker clique.
 func (c *Context[T]) SendTo(j int, v int32, val T) {
-	c.out[j] = append(c.out[j], VMsg[T]{V: v, Val: val, Round: c.round, From: int32(c.frag.ID)})
+	c.push(j, VMsg[T]{V: v, Val: val, Round: c.round, From: int32(c.frag.ID)})
 }
 
 // AddWork reports n units of work (vertices touched, edges relaxed) for
 // the cost model and the stale-computation metric.
 func (c *Context[T]) AddWork(n int) { c.work += int64(n) }
 
-// NewEngineContext, SetRound and TakeOut expose the context plumbing to
-// engines outside this package (the virtual-time simulator); they are not
-// part of the programming API.
-func NewEngineContext[T any](f *partition.Fragment, m int) *Context[T] { return newContext[T](f, m) }
+// NewEngineContext, SetRound, TakeOut and ReleaseOut expose the context
+// plumbing to engines outside this package (the virtual-time simulator);
+// they are not part of the programming API.
+func NewEngineContext[T any](f *partition.Fragment, m int) *Context[T] {
+	return newContext[T](f, m, &msgPool[T]{})
+}
 
 // SetRound sets the round number recorded in outgoing messages.
 func (c *Context[T]) SetRound(r int32) { c.round = r }
@@ -158,11 +196,24 @@ func (c *Context[T]) TakeOut() ([][]VMsg[T], int64) { return c.takeOut() }
 // ValueBytes returns the accounted wire size of one message carrying val.
 func (j *Job[T]) ValueBytes(val T) int { return j.valueBytes(val) }
 
+// ReleaseOut hands an outer array obtained from TakeOut back for reuse
+// by the next round. The caller must be done reading the array itself
+// (the message slices it pointed to remain owned by their receivers).
+func (c *Context[T]) ReleaseOut(out [][]VMsg[T]) {
+	clear(out)
+	c.spare = out
+}
+
 // takeOut returns and clears the per-destination message lists and the
 // accumulated work of the finished round.
 func (c *Context[T]) takeOut() ([][]VMsg[T], int64) {
 	out := c.out
-	c.out = make([][]VMsg[T], len(out))
+	if c.spare != nil {
+		c.out = c.spare
+		c.spare = nil
+	} else {
+		c.out = make([][]VMsg[T], len(out))
+	}
 	w := c.work
 	c.work = 0
 	return out, w
@@ -172,7 +223,19 @@ func (c *Context[T]) takeOut() ([][]VMsg[T], int64) {
 // producing at most one message per vertex, in ascending vertex order
 // (so IncEval sees a deterministic input regardless of arrival order).
 // The retained Round/From are those of the latest-round contribution.
+//
+// FoldMessages works on arbitrary buffers but allocates; the engine's
+// per-round hot path uses a Folder, which produces identical output from
+// reusable fragment-sized scratch.
 func FoldMessages[T any](buf []VMsg[T], agg func(a, b T) T) []VMsg[T] {
+	return foldMessagesGeneric(buf, agg)
+}
+
+// foldMessagesGeneric is the map-based reference fold: it handles
+// messages for any vertex, at the cost of a map plus an output
+// allocation per call. The Folder's dense path is verified bit-identical
+// against it by the differential tests.
+func foldMessagesGeneric[T any](buf []VMsg[T], agg func(a, b T) T) []VMsg[T] {
 	if len(buf) == 0 {
 		return nil
 	}
@@ -194,6 +257,69 @@ func FoldMessages[T any](buf []VMsg[T], agg func(a, b T) T) []VMsg[T] {
 		out = append(out, m)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	return out
+}
+
+// Folder folds message buffers for one fragment without allocating: a
+// dense slot→output-index table guarded by a generation counter (so no
+// per-round clearing) folds each message in O(1), and the reused output
+// slice is sorted in place. Messages for vertices outside the fragment's
+// slot domain (the MapReduce simulation's clique routing) fall back to
+// the generic fold. A Folder is owned by a single worker; it is not safe
+// for concurrent use, and the returned slice is only valid until the
+// next Fold call.
+type Folder[T any] struct {
+	frag *partition.Fragment
+	pos  []int32  // slot -> index into out, valid when gen[slot] == cur
+	gen  []uint32 // generation stamp per slot
+	cur  uint32
+	out  []VMsg[T]
+}
+
+// NewFolder returns a Folder with scratch sized by f's slot count.
+func NewFolder[T any](f *partition.Fragment) *Folder[T] {
+	n := f.Slots()
+	return &Folder[T]{
+		frag: f,
+		pos:  make([]int32, n),
+		gen:  make([]uint32, n),
+	}
+}
+
+// Fold folds buf exactly like FoldMessages, reusing the Folder's
+// scratch. The result is overwritten by the next Fold call.
+func (fd *Folder[T]) Fold(buf []VMsg[T], agg func(a, b T) T) []VMsg[T] {
+	if len(buf) == 0 {
+		return nil
+	}
+	fd.cur++
+	if fd.cur == 0 { // generation wrapped: invalidate all stamps
+		clear(fd.gen)
+		fd.cur = 1
+	}
+	out := fd.out[:0]
+	for _, m := range buf {
+		slot := fd.frag.Slot(m.V)
+		if slot < 0 {
+			// Arbitrary routing (SendTo): the vertex has no local slot,
+			// so the dense table cannot key it.
+			return foldMessagesGeneric(buf, agg)
+		}
+		if fd.gen[slot] != fd.cur {
+			fd.gen[slot] = fd.cur
+			fd.pos[slot] = int32(len(out))
+			out = append(out, m)
+			continue
+		}
+		e := &out[fd.pos[slot]]
+		e.Val = agg(e.Val, m.Val)
+		if m.Round > e.Round {
+			e.Round = m.Round
+			e.From = m.From
+		}
+	}
+	slices.SortFunc(out, func(a, b VMsg[T]) int { return int(a.V) - int(b.V) })
+	fd.out = out
 	return out
 }
 

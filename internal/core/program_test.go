@@ -25,7 +25,7 @@ func TestContextSendRoutesToOwner(t *testing.T) {
 	if len(f.Out) == 0 {
 		t.Skip("fragment 0 has no out-border on this seed")
 	}
-	ctx := newContext[float64](f, p.M)
+	ctx := newContext[float64](f, p.M, &msgPool[float64]{})
 	ctx.round = 3
 	v := f.Out[0]
 	ctx.Send(v, 1.5)
@@ -68,7 +68,7 @@ func TestContextSendToHolders(t *testing.T) {
 	if v < 0 {
 		t.Skip("no shared border vertex on this seed")
 	}
-	ctx := newContext[float64](frag, p.M)
+	ctx := newContext[float64](frag, p.M, &msgPool[float64]{})
 	ctx.SendToHolders(v, 2.5)
 	out, _ := ctx.takeOut()
 	want := map[int32]bool{}
@@ -95,7 +95,7 @@ func TestContextSendToHolders(t *testing.T) {
 
 func TestContextSendToAndWork(t *testing.T) {
 	p := buildPartition(t, 3)
-	ctx := newContext[float64](p.Frags[0], p.M)
+	ctx := newContext[float64](p.Frags[0], p.M, &msgPool[float64]{})
 	ctx.SendTo(2, 5, 9)
 	ctx.AddWork(7)
 	ctx.AddWork(3)

@@ -1,0 +1,76 @@
+package partition
+
+import (
+	"testing"
+
+	"aap/internal/gen"
+)
+
+// TestDenseTablesMatchReference verifies, on partitioned random graphs
+// across strategies and fragment counts, that the dense owner and slot
+// tables agree with the reference lookups they replaced: binary search
+// over Ranges for Owner, and the F.O map reconstructed from each
+// fragment's border set for Slot/OutSlot.
+func TestDenseTablesMatchReference(t *testing.T) {
+	graphs := []struct {
+		name string
+		gen  func() *Partitioned
+	}{}
+	for _, m := range []int{1, 3, 8} {
+		for _, s := range []Strategy{Hash{}, Range{}, BFSLocality{Seed: 5}, Skewed{Ratio: 4, Seed: 5}} {
+			m, s := m, s
+			graphs = append(graphs, struct {
+				name string
+				gen  func() *Partitioned
+			}{
+				name: s.Name(),
+				gen: func() *Partitioned {
+					g := gen.Random(500, 3000, false, 11)
+					p, err := Build(g, m, s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return p
+				},
+			})
+		}
+	}
+	for _, tc := range graphs {
+		p := tc.gen()
+		n := int32(p.G.NumVertices())
+		// Out-of-range ids included: Owner must mirror the binary search
+		// exactly, even for synthetic routing keys.
+		for v := int32(-3); v < n+3; v++ {
+			if got, want := p.Owner(v), p.ownerSearch(v); got != want {
+				t.Fatalf("%s/m=%d: Owner(%d) = %d, search says %d", tc.name, p.M, v, got, want)
+			}
+		}
+		for _, f := range p.Frags {
+			// Reference slot map: owned range then F.O copies in order.
+			ref := make(map[int32]int32)
+			for v := f.Lo; v < f.Hi; v++ {
+				ref[v] = v - f.Lo
+			}
+			base := int32(f.NumOwned())
+			for s, v := range f.Out {
+				ref[v] = base + int32(s)
+			}
+			for v := int32(0); v < n; v++ {
+				want, ok := ref[v]
+				if !ok {
+					want = -1
+				}
+				if got := f.Slot(v); got != want {
+					t.Fatalf("%s/m=%d: frag %d Slot(%d) = %d, want %d", tc.name, p.M, f.ID, v, got, want)
+				}
+				wantOut := int32(-1)
+				if !f.Owns(v) && want >= 0 {
+					wantOut = want - base
+				}
+				if got := f.OutSlot(v); got != wantOut {
+					t.Fatalf("%s/m=%d: frag %d OutSlot(%d) = %d, want %d", tc.name, p.M, f.ID, v, got, wantOut)
+				}
+			}
+		}
+	}
+}

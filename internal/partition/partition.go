@@ -46,7 +46,11 @@ type Fragment struct {
 	Out      []int32
 	InPrime  []int32
 
-	outSlot map[int32]int32 // global index of an F.O copy -> dense slot
+	// slot is the dense global→local routing table: slot[v] is the local
+	// slot of global vertex v, or -1 when v is neither owned nor an F.O
+	// copy. One array load replaces the former map lookup on the
+	// per-relaxation hot path.
+	slot []int32
 
 	p *Partitioned
 }
@@ -60,8 +64,11 @@ func (f *Fragment) Owns(v int32) bool { return v >= f.Lo && v < f.Hi }
 // OutSlot returns the dense slot of out-border copy v in [0, len(Out)),
 // or -1 if v is not in F.O.
 func (f *Fragment) OutSlot(v int32) int32 {
-	if s, ok := f.outSlot[v]; ok {
-		return s
+	if f.Owns(v) {
+		return -1
+	}
+	if s := f.Slot(v); s >= 0 {
+		return s - int32(f.NumOwned())
 	}
 	return -1
 }
@@ -73,15 +80,13 @@ func (f *Fragment) Slots() int { return f.NumOwned() + len(f.Out) }
 
 // Slot maps global vertex v to its dense local slot: owned vertices map
 // to [0, NumOwned) and F.O copies to [NumOwned, Slots). It returns -1
-// when v is neither owned nor a copy.
+// when v is neither owned nor a copy, including synthetic ids outside
+// the graph's vertex range (SendTo's arbitrary routing).
 func (f *Fragment) Slot(v int32) int32 {
-	if f.Owns(v) {
-		return v - f.Lo
+	if v < 0 || int(v) >= len(f.slot) {
+		return -1
 	}
-	if s, ok := f.outSlot[v]; ok {
-		return int32(f.NumOwned()) + s
-	}
-	return -1
+	return f.slot[v]
 }
 
 // Graph returns the renumbered global graph the fragment views.
@@ -99,6 +104,11 @@ type Partitioned struct {
 	Ranges []int32 // length M+1
 	Frags  []*Fragment
 
+	// owner is the dense vertex→fragment table: owner[v] is the fragment
+	// id owning global vertex v. One array load replaces the former
+	// binary search over Ranges on the per-Send hot path.
+	owner []int32
+
 	holders  map[int32][]int32
 	strategy string
 }
@@ -111,8 +121,25 @@ func (p *Partitioned) Holders(v int32) []int32 { return p.holders[v] }
 // Strategy returns the name of the strategy that produced the partition.
 func (p *Partitioned) Strategy() string { return p.strategy }
 
-// Owner returns the fragment id owning global vertex v.
+// Owner returns the fragment id owning global vertex v. Ids outside the
+// vertex range take the binary-search path, preserving the pre-dense
+// behavior for synthetic routing keys.
 func (p *Partitioned) Owner(v int32) int {
+	if v < 0 || int(v) >= len(p.owner) {
+		return p.ownerSearch(v)
+	}
+	return int(p.owner[v])
+}
+
+// The dense owner and per-fragment slot tables trade memory for O(1)
+// lookups: total routing-table footprint is O(n·m). That is the right
+// trade for the synthetic datasets this repo runs today; at
+// billion-edge scale the per-fragment tables should become hybrid
+// (arithmetic for the owned range, dense only over the copy set).
+
+// ownerSearch is the reference O(log m) owner lookup the dense table
+// replaced; kept for the differential test.
+func (p *Partitioned) ownerSearch(v int32) int {
 	// Ranges is sorted; binary search for the fragment whose range holds v.
 	i := sort.Search(p.M, func(i int) bool { return p.Ranges[i+1] > v })
 	return i
@@ -178,15 +205,28 @@ func Build(g *graph.Graph, m int, s Strategy) (*Partitioned, error) {
 	}
 
 	p := &Partitioned{G: rg, M: m, Ranges: ranges, strategy: s.Name()}
+	p.owner = make([]int32, n)
+	for i := 0; i < m; i++ {
+		for v := ranges[i]; v < ranges[i+1]; v++ {
+			p.owner[v] = int32(i)
+		}
+	}
 	p.Frags = make([]*Fragment, m)
 	for i := 0; i < m; i++ {
-		p.Frags[i] = &Fragment{
-			ID:      i,
-			Lo:      ranges[i],
-			Hi:      ranges[i+1],
-			outSlot: make(map[int32]int32),
-			p:       p,
+		f := &Fragment{
+			ID:   i,
+			Lo:   ranges[i],
+			Hi:   ranges[i+1],
+			slot: make([]int32, n),
+			p:    p,
 		}
+		for v := range f.slot {
+			f.slot[v] = -1
+		}
+		for v := f.Lo; v < f.Hi; v++ {
+			f.slot[v] = v - f.Lo
+		}
+		p.Frags[i] = f
 	}
 	p.computeBorders()
 	return p, nil
@@ -228,8 +268,9 @@ func (p *Partitioned) computeBorders() {
 		f.OutPrime = sortedKeys(sets[i].outPrime)
 		f.Out = sortedKeys(sets[i].out)
 		f.InPrime = sortedKeys(sets[i].inPrime)
-		for slot, v := range f.Out {
-			f.outSlot[v] = int32(slot)
+		base := int32(f.NumOwned())
+		for s, v := range f.Out {
+			f.slot[v] = base + int32(s)
 			p.holders[v] = append(p.holders[v], int32(i))
 		}
 	}

@@ -111,10 +111,11 @@ const (
 )
 
 type simWorker[T any] struct {
-	id   int
-	prog core.Program[T]
-	ctx  *core.Context[T]
-	ctrl core.Controller
+	id     int
+	prog   core.Program[T]
+	ctx    *core.Context[T]
+	ctrl   core.Controller
+	folder *core.Folder[T]
 
 	state   wstate
 	wakeGen int64 // invalidates stale wake events
@@ -196,6 +197,7 @@ func newSim[T any](p *partition.Partitioned, job core.Job[T], cfg Config) *sim[T
 			prog:    job.New(f),
 			ctx:     core.NewEngineContext[T](f, p.M),
 			ctrl:    s.ctrls.Controller(i),
+			folder:  core.NewFolder[T](f),
 			origins: make(map[int32]bool),
 			speed:   speed,
 		}
@@ -221,7 +223,7 @@ func (s *sim[T]) startRound(w *simWorker[T], t float64) error {
 	if w.rounds == 0 {
 		w.prog.PEval(w.ctx)
 	} else {
-		msgs := core.FoldMessages(w.buffer, s.job.Aggregate)
+		msgs := w.folder.Fold(w.buffer, s.job.Aggregate)
 		w.buffer = w.buffer[:0]
 		for k := range w.origins {
 			delete(w.origins, k)
@@ -261,6 +263,7 @@ func (s *sim[T]) finishRound(w *simWorker[T], t float64) {
 		w.stats.BytesSent += bytes
 		s.push(&event[T]{t: t + s.cfg.MsgLatency, kind: evArrive, w: j, from: int32(w.id), msgs: msgs})
 	}
+	w.ctx.ReleaseOut(w.pendingOut)
 	w.pendingOut = nil
 	s.ctrls.ObserveRound(s.rmax())
 }
