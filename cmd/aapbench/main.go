@@ -6,6 +6,7 @@
 //
 //	aapbench -exp table1|fig1|fig6a..fig6h|fig6i|fig6j|fig6k|fig6l|fig7|exp2|cfcase|all
 //	aapbench -exp fig6b -workers 64,96,128,160,192
+//	aapbench -exp fig6b -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Dataset sizes scale with the AAP_SCALE environment variable.
 package main
@@ -14,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -24,14 +27,46 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1, fig1, fig6a..fig6l, fig7, exp2, cfcase, all)")
 	workersFlag := flag.String("workers", "16,32,48,64", "comma-separated worker counts for figure sweeps")
 	tableWorkers := flag.Int("table-workers", 32, "worker count for table1/exp2")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 
 	workers, err := parseInts(*workersFlag)
 	if err != nil {
 		fatal(err)
 	}
+	// fatal exits via os.Exit, which would skip deferred profile
+	// flushing and leave a truncated pprof file; stop explicitly on both
+	// paths instead.
+	stopProfile := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
 	if err := run(*exp, workers, *tableWorkers); err != nil {
+		stopProfile()
 		fatal(err)
+	}
+	stopProfile()
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"aap/internal/algo/cc"
 	"aap/internal/algo/pagerank"
@@ -41,11 +42,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	t0 := time.Now()
 	g, err := graph.ReadEdgeList(f)
 	f.Close()
 	if err != nil {
 		fatal(err)
 	}
+	loadSecs := time.Since(t0).Seconds()
 
 	var strat partition.Strategy
 	switch *strategy {
@@ -58,10 +61,12 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown partition strategy %q", *strategy))
 	}
+	t0 = time.Now()
 	p, err := partition.Build(g, *workers, strat)
 	if err != nil {
 		fatal(err)
 	}
+	partSecs := time.Since(t0).Seconds()
 
 	mode, err := parseMode(*modeName)
 	if err != nil {
@@ -105,6 +110,7 @@ func main() {
 
 	fmt.Printf("%s/%s on %s: %d vertices, %d edges, %d workers\n",
 		*algo, stats.Mode, *graphPath, g.NumVertices(), g.NumEdges(), *workers)
+	fmt.Printf("ingest: load %.3fs, partition(%s) %.3fs\n", loadSecs, p.Strategy(), partSecs)
 	fmt.Printf("time %.3fs, rounds max %d, messages %d, bytes %d\n",
 		stats.Seconds, stats.MaxRound, stats.TotalMsgs, stats.TotalBytes)
 	if *out != "" {

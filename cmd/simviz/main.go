@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"aap/internal/algo/cc"
 	"aap/internal/algo/pagerank"
@@ -54,10 +55,13 @@ func main() {
 	}
 
 	ds := harness.FriendsterSim(harness.Scale())
+	t0 := time.Now()
 	p, err := partition.Build(ds.Graph, *workers, partition.BFSLocality{})
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("partitioned %s (%d vertices, %d edges) into %d fragments in %.3fs\n\n",
+		ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges(), *workers, time.Since(t0).Seconds())
 	speed := make([]float64, *workers)
 	for i := range speed {
 		speed[i] = 1

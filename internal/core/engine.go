@@ -78,15 +78,16 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 	e.workers = make([]*worker[T], p.M)
 	for i, f := range p.Frags {
 		w := &worker[T]{
-			id:      i,
-			eng:     e,
-			frag:    f,
-			prog:    job.New(f),
-			ctx:     newContext[T](f, p.M, &e.pool),
-			ctrl:    newController(opts, e.hsync),
-			folder:  NewFolder[T](f),
-			origins: make(map[int32]bool),
-			rng:     rand.New(rand.NewSource(opts.Seed + int64(i)*7919)),
+			id:         i,
+			eng:        e,
+			frag:       f,
+			prog:       job.New(f),
+			ctx:        newContext[T](f, p.M, &e.pool),
+			ctrl:       newController(opts, e.hsync),
+			folder:     NewFolder[T](f),
+			originSeen: make([]int32, p.M),
+			originGen:  1,
+			rng:        rand.New(rand.NewSource(opts.Seed + int64(i)*7919)),
 		}
 		w.inbox.notify = make(chan struct{}, 1)
 		w.progress = make(chan struct{}, 1)
@@ -363,7 +364,18 @@ type worker[T any] struct {
 	inbox    inbox[T]
 	progress chan struct{}
 	buffer   []VMsg[T]
-	origins  map[int32]bool
+
+	// originSeen counts distinct origin workers of the buffered messages
+	// (η in the controller's view) without map traffic: originSeen[j]
+	// equals originGen when worker j has contributed to the current
+	// buffer, and bumping originGen resets the set in O(1).
+	originSeen []int32
+	originGen  int32
+	originCnt  int
+
+	// timer backs every finite wait; allocated once and Reset per use
+	// instead of a fresh time.Timer per delay.
+	timer *time.Timer
 
 	rng *rand.Rand
 
@@ -440,9 +452,22 @@ func (w *worker[T]) setActive(active bool) {
 func (w *worker[T]) wait(d float64) wakeReason {
 	var timerC <-chan time.Time
 	if !math.IsInf(d, 1) {
-		t := time.NewTimer(time.Duration(d * float64(time.Second)))
-		defer t.Stop()
-		timerC = t.C
+		dur := time.Duration(d * float64(time.Second))
+		if w.timer == nil {
+			w.timer = time.NewTimer(dur)
+		} else {
+			// The previous wait may have left the timer running or its
+			// tick unconsumed; drain before Reset so a stale expiry can
+			// never masquerade as this wait's timeout.
+			if !w.timer.Stop() {
+				select {
+				case <-w.timer.C:
+				default:
+				}
+			}
+			w.timer.Reset(dur)
+		}
+		timerC = w.timer.C
 	}
 	t0 := time.Now()
 	defer func() { w.stats.IdleSeconds += time.Since(t0).Seconds() }()
@@ -472,7 +497,10 @@ func (w *worker[T]) drain() {
 	for _, b := range bs {
 		n += len(b.msgs)
 		w.buffer = append(w.buffer, b.msgs...)
-		w.origins[b.from] = true
+		if w.originSeen[b.from] != w.originGen {
+			w.originSeen[b.from] = w.originGen
+			w.originCnt++
+		}
 		w.eng.pool.put(b.msgs)
 	}
 	w.inbox.release(bs)
@@ -499,7 +527,7 @@ func (w *worker[T]) view() View {
 		Round:        w.rounds,
 		RMin:         rmin,
 		RMax:         rmax,
-		Eta:          len(w.origins),
+		Eta:          w.originCnt,
 		Buffered:     len(w.buffer),
 		RoundTime:    w.roundTimeEWMA,
 		AvgRoundTime: w.eng.avgRoundTime(),
@@ -530,9 +558,14 @@ func (w *worker[T]) execRound(peval bool) {
 	} else {
 		msgs := w.folder.Fold(w.buffer, e.job.Aggregate)
 		w.buffer = w.buffer[:0]
-		for k := range w.origins {
-			delete(w.origins, k)
+		// Bump the generation to clear the origin set; on the (absurdly
+		// distant) wrap, fall back to an explicit clear.
+		if w.originGen == math.MaxInt32 {
+			clear(w.originSeen)
+			w.originGen = 0
 		}
+		w.originGen++
+		w.originCnt = 0
 		w.prog.IncEval(msgs, w.ctx)
 	}
 	dur := time.Since(t0).Seconds()

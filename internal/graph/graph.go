@@ -7,10 +7,7 @@
 // they can be shared freely across workers without locks.
 package graph
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // VertexID is the external (application-level) identifier of a vertex.
 // Internally vertices are dense int32 indexes in [0, NumVertices).
@@ -30,8 +27,14 @@ type Edge struct {
 type Graph struct {
 	directed bool
 
-	ids   []VertexID         // internal index -> external id
-	index map[VertexID]int32 // external id -> internal index
+	ids []VertexID // internal index -> external id
+
+	// index maps external id -> base index: the index the vertex had in
+	// the graph Build produced. Relabeled graphs share this map with
+	// their ancestor and compose permutations in baseToCur instead of
+	// rebuilding it, so relabeling performs zero map operations.
+	index     map[VertexID]int32
+	baseToCur []int32 // base index -> current index; nil means identity
 
 	outOff []int64   // len n+1
 	outDst []int32   // len m (directed) or 2m (undirected)
@@ -64,11 +67,24 @@ func (g *Graph) IDOf(v int32) VertexID { return g.ids[v] }
 // whether it exists.
 func (g *Graph) IndexOf(id VertexID) (int32, bool) {
 	v, ok := g.index[id]
+	if ok && g.baseToCur != nil {
+		v = g.baseToCur[v]
+	}
 	return v, ok
 }
 
 // OutDegree returns the out-degree of internal vertex v.
 func (g *Graph) OutDegree(v int32) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// OutSpan returns the total number of stored out-entries of the vertex
+// range [lo, hi): one subtraction on the CSR offsets, replacing
+// per-vertex degree loops when partitioners size contiguous fragments.
+func (g *Graph) OutSpan(lo, hi int32) int64 { return g.outOff[hi] - g.outOff[lo] }
+
+// OutShards splits the vertex range into p contiguous shards of
+// near-equal out-edge span, the balance edge-parallel sweeps over the
+// graph (border computation, future analytics) need under skew.
+func (g *Graph) OutShards(p int) []int32 { return vertexShardsByWork(g.outOff, p) }
 
 // InDegree returns the in-degree of internal vertex v.
 func (g *Graph) InDegree(v int32) int { return int(g.inOff[v+1] - g.inOff[v]) }
@@ -139,6 +155,32 @@ func NewBuilder(directed bool) *Builder {
 // first call to AddWeightedEdge.
 func (b *Builder) SetWeighted() { b.weighted = true }
 
+// Reserve pre-sizes the builder for n vertices and m edges so generators
+// and loaders that know their size fill without growth reallocations.
+func (b *Builder) Reserve(n, m int) {
+	if cap(b.ids) < n {
+		ids := make([]VertexID, len(b.ids), n)
+		copy(ids, b.ids)
+		b.ids = ids
+		index := make(map[VertexID]int32, n)
+		for id, v := range b.index {
+			index[id] = v
+		}
+		b.index = index
+	}
+	if cap(b.srcs) < m {
+		srcs := make([]int32, len(b.srcs), m)
+		copy(srcs, b.srcs)
+		b.srcs = srcs
+		dsts := make([]int32, len(b.dsts), m)
+		copy(dsts, b.dsts)
+		b.dsts = dsts
+		ws := make([]float64, len(b.ws), m)
+		copy(ws, b.ws)
+		b.ws = ws
+	}
+}
+
 // AddVertex ensures id exists and returns its internal index.
 func (b *Builder) AddVertex(id VertexID) int32 {
 	if v, ok := b.index[id]; ok {
@@ -174,176 +216,113 @@ func (b *Builder) NumVertices() int { return len(b.ids) }
 func (b *Builder) NumEdges() int { return len(b.srcs) }
 
 // Build produces the immutable Graph. Edge order within an adjacency list
-// is by increasing destination index, with parallel edges preserved.
+// is by increasing destination index, with parallel edges preserved in
+// insertion order. The CSR arrays are built by the parallel pipeline in
+// ingest.go; the id index builds concurrently on its own goroutine, so
+// the map work overlaps the scatter instead of preceding it.
 func (b *Builder) Build() *Graph {
 	n := len(b.ids)
 	m := len(b.srcs)
 	g := &Graph{
 		directed: b.directed,
 		ids:      append([]VertexID(nil), b.ids...),
-		index:    make(map[VertexID]int32, n),
 		numEdges: int64(m),
 	}
-	for i, id := range g.ids {
-		g.index[id] = int32(i)
-	}
-
-	// Out-adjacency. Undirected graphs store each edge in both lists.
-	outDeg := make([]int64, n+1)
-	for i := 0; i < m; i++ {
-		outDeg[b.srcs[i]+1]++
-		if !b.directed && b.srcs[i] != b.dsts[i] {
-			outDeg[b.dsts[i]+1]++
+	idxDone := make(chan map[VertexID]int32, 1)
+	go func() {
+		idx := make(map[VertexID]int32, n)
+		for i, id := range g.ids {
+			idx[id] = int32(i)
 		}
-	}
-	for i := 0; i < n; i++ {
-		outDeg[i+1] += outDeg[i]
-	}
-	g.outOff = outDeg
-	total := g.outOff[n]
-	g.outDst = make([]int32, total)
+		idxDone <- idx
+	}()
+	var ws []float64
 	if b.weighted {
-		g.outW = make([]float64, total)
+		ws = b.ws
 	}
-	cursor := make([]int64, n)
-	copy(cursor, g.outOff[:n])
-	emit := func(s, d int32, w float64) {
-		p := cursor[s]
-		cursor[s]++
-		g.outDst[p] = d
-		if g.outW != nil {
-			g.outW[p] = w
-		}
-	}
-	for i := 0; i < m; i++ {
-		emit(b.srcs[i], b.dsts[i], b.ws[i])
-		// Undirected edges appear in both endpoint lists; self-loops are
-		// stored once so Edges reports them exactly once.
-		if !b.directed && b.srcs[i] != b.dsts[i] {
-			emit(b.dsts[i], b.srcs[i], b.ws[i])
-		}
-	}
-	sortAdjacency(g.outOff, g.outDst, g.outW, n)
-
+	g.outOff, g.outDst, g.outW = scatterCSR(n, b.srcs, b.dsts, ws, !b.directed)
 	if b.directed {
-		inDeg := make([]int64, n+1)
-		for i := 0; i < m; i++ {
-			inDeg[b.dsts[i]+1]++
-		}
-		for i := 0; i < n; i++ {
-			inDeg[i+1] += inDeg[i]
-		}
-		g.inOff = inDeg
-		g.inSrc = make([]int32, m)
-		if b.weighted {
-			g.inW = make([]float64, m)
-		}
-		copy(cursor, g.inOff[:n])
-		for i := 0; i < m; i++ {
-			d := b.dsts[i]
-			p := cursor[d]
-			cursor[d]++
-			g.inSrc[p] = b.srcs[i]
-			if g.inW != nil {
-				g.inW[p] = b.ws[i]
-			}
-		}
-		sortAdjacency(g.inOff, g.inSrc, g.inW, n)
+		g.inOff, g.inSrc, g.inW = scatterCSR(n, b.dsts, b.srcs, ws, false)
 	} else {
 		g.inOff, g.inSrc, g.inW = g.outOff, g.outDst, g.outW
 	}
+	g.index = <-idxDone
 	return g
-}
-
-// sortAdjacency sorts each adjacency list by neighbor index, keeping the
-// weight slice parallel.
-func sortAdjacency(off []int64, adj []int32, w []float64, n int) {
-	for v := 0; v < n; v++ {
-		lo, hi := off[v], off[v+1]
-		if hi-lo < 2 {
-			continue
-		}
-		seg := adj[lo:hi]
-		if w == nil {
-			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
-			continue
-		}
-		wseg := w[lo:hi]
-		sort.Sort(&adjSorter{seg, wseg})
-	}
-}
-
-type adjSorter struct {
-	adj []int32
-	w   []float64
-}
-
-func (s *adjSorter) Len() int           { return len(s.adj) }
-func (s *adjSorter) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
-func (s *adjSorter) Swap(i, j int) {
-	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
-	s.w[i], s.w[j] = s.w[j], s.w[i]
 }
 
 // AsUndirected returns g itself when already undirected, or a new
 // undirected graph over the same vertices with one undirected edge per
 // directed edge of g. Connectivity algorithms use it to work on the
-// underlying undirected graph.
+// underlying undirected graph. The undirected rows are produced by
+// merging the already-sorted out- and in-rows (symmetrize in ingest.go):
+// O(n+m) with no Builder and no map operations.
 func AsUndirected(g *Graph) *Graph {
 	if !g.directed {
 		return g
 	}
-	b := NewBuilder(false)
-	if g.Weighted() {
-		b.SetWeighted()
+	ng := &Graph{
+		directed:  false,
+		ids:       g.ids,
+		index:     g.index,
+		baseToCur: g.baseToCur,
+		numEdges:  g.numEdges,
 	}
-	for _, id := range g.ids {
-		b.AddVertex(id)
-	}
-	g.Edges(func(src, dst int32, w float64) {
-		if g.Weighted() {
-			b.AddWeightedEdge(g.ids[src], g.ids[dst], w)
-		} else {
-			b.AddEdge(g.ids[src], g.ids[dst])
-		}
-	})
-	return b.Build()
+	ng.outOff, ng.outDst, ng.outW = symmetrize(g)
+	ng.inOff, ng.inSrc, ng.inW = ng.outOff, ng.outDst, ng.outW
+	return ng
 }
 
 // Relabel returns a copy of g whose internal vertex v becomes perm[v].
 // perm must be a permutation of [0, NumVertices). External identifiers
 // follow their vertices. Relabel is used by partitioners to make each
 // fragment a contiguous index range.
+//
+// The CSR arrays are permuted directly (permuteCSR in ingest.go) and the
+// id index is shared with g, composing permutations in baseToCur — an
+// O(n+m) array pass with zero rebuild and zero map traffic, where the
+// old path re-fed every edge through a map-based Builder.
 func Relabel(g *Graph, perm []int32) (*Graph, error) {
 	n := g.NumVertices()
+	if err := checkPerm(perm, n); err != nil {
+		return nil, err
+	}
+	ng := &Graph{
+		directed: g.directed,
+		ids:      make([]VertexID, n),
+		index:    g.index,
+		numEdges: g.numEdges,
+	}
+	for v, id := range g.ids {
+		ng.ids[perm[v]] = id
+	}
+	ng.baseToCur = make([]int32, n)
+	if g.baseToCur == nil {
+		copy(ng.baseToCur, perm)
+	} else {
+		for i, v := range g.baseToCur {
+			ng.baseToCur[i] = perm[v]
+		}
+	}
+	ng.outOff, ng.outDst, ng.outW = permuteCSR(g.outOff, g.outDst, g.outW, perm)
+	if g.directed {
+		ng.inOff, ng.inSrc, ng.inW = permuteCSR(g.inOff, g.inSrc, g.inW, perm)
+	} else {
+		ng.inOff, ng.inSrc, ng.inW = ng.outOff, ng.outDst, ng.outW
+	}
+	return ng, nil
+}
+
+// checkPerm validates that perm is a permutation of [0, n).
+func checkPerm(perm []int32, n int) error {
 	if len(perm) != n {
-		return nil, fmt.Errorf("graph: permutation length %d != %d vertices", len(perm), n)
+		return fmt.Errorf("graph: permutation length %d != %d vertices", len(perm), n)
 	}
 	seen := make([]bool, n)
 	for _, p := range perm {
 		if p < 0 || int(p) >= n || seen[p] {
-			return nil, fmt.Errorf("graph: invalid permutation")
+			return fmt.Errorf("graph: invalid permutation")
 		}
 		seen[p] = true
 	}
-	b := NewBuilder(g.directed)
-	if g.Weighted() {
-		b.SetWeighted()
-	}
-	// Pre-create vertices in the new order so ids land at perm positions.
-	newIDs := make([]VertexID, n)
-	for v := 0; v < n; v++ {
-		newIDs[perm[v]] = g.ids[v]
-	}
-	for _, id := range newIDs {
-		b.AddVertex(id)
-	}
-	g.Edges(func(src, dst int32, w float64) {
-		if g.Weighted() {
-			b.AddWeightedEdge(g.ids[src], g.ids[dst], w)
-		} else {
-			b.AddEdge(g.ids[src], g.ids[dst])
-		}
-	})
-	return b.Build(), nil
+	return nil
 }

@@ -1,0 +1,459 @@
+// Parallel ingest pipeline: multicore CSR construction, zero-rebuild
+// relabeling, and direct symmetrization.
+//
+// The three entry points (Builder.Build, Relabel, AsUndirected) share a
+// small toolbox: contiguous edge shards with per-shard counters feeding a
+// deterministic scatter, vertex shards balanced by edge work, and a
+// stable per-row sorter with monomorphic insertion and LSD-radix fast
+// paths. Everything is dense-array work — no maps anywhere on the path —
+// and every stage produces output bit-identical to the retained
+// sequential references in ingest_ref.go: same vertex order, same
+// adjacency order (ascending neighbor, parallel edges in input order).
+package graph
+
+import (
+	"sort"
+
+	"aap/internal/par"
+)
+
+// ingestShardEdges is the minimum number of edges a shard must carry
+// before the pipeline adds another worker; below it goroutine fan-out
+// costs more than it saves.
+const ingestShardEdges = 1 << 15
+
+// countStripeBudget bounds the transient per-worker degree-count stripes
+// of scatterCSR (4 bytes per vertex per worker), so many-core machines
+// with very large vertex counts don't allocate stripes bigger than the
+// CSR arrays they are building.
+const countStripeBudget = 256 << 20
+
+// ingestProcs picks the worker count for an m-edge ingest stage.
+func ingestProcs(m int) int {
+	return par.Procs(int64(m), ingestShardEdges)
+}
+
+// edgeShards splits [0, m) into p near-equal contiguous ranges.
+func edgeShards(m, p int) []int {
+	b := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		b[i] = i * m / p
+	}
+	return b
+}
+
+// vertexShardsByWork splits [0, n) into p contiguous vertex ranges with
+// near-equal total edge span, so hub vertices of a power-law graph do not
+// serialize the row-parallel stages.
+func vertexShardsByWork(off []int64, p int) []int32 {
+	n := len(off) - 1
+	total := off[n]
+	b := make([]int32, p+1)
+	b[p] = int32(n)
+	for i := 1; i < p; i++ {
+		target := total * int64(i) / int64(p)
+		b[i] = int32(sort.Search(n, func(v int) bool { return off[v] >= target }))
+	}
+	return b
+}
+
+// scatterCSR builds one CSR side — offsets, adjacency, parallel weights —
+// for n vertices from m edges key[i] → val[i]. When mirror is true every
+// key ≠ val edge is also emitted reversed (the undirected storage
+// convention; self-loops stay single). ws may be nil for unweighted
+// graphs. Rows come out stable-sorted: ascending neighbor index, parallel
+// edges in input order.
+//
+// The scatter is deterministic under any worker count: each worker owns a
+// contiguous edge shard and a private per-vertex cursor stripe, and the
+// cursor stripes are pre-offset so shard w's entries land after shard
+// w-1's within every row — exactly the sequential emission order.
+func scatterCSR(n int, keys, vals []int32, ws []float64, mirror bool) ([]int64, []int32, []float64) {
+	m := len(keys)
+	sp := ingestProcs(m)
+	// The count stripes are transient O(sp·n) memory; cap the
+	// counting/scatter fan-out so they never dwarf the CSR output on
+	// many-core machines with huge vertex counts. Row sorting below is
+	// stripe-free and keeps the full worker count.
+	if n > 0 {
+		if lim := countStripeBudget / 4 / n; sp > lim {
+			sp = lim
+			if sp < 1 {
+				sp = 1
+			}
+		}
+	}
+	eb := edgeShards(m, sp)
+
+	// Per-shard degree counting into private stripes.
+	counts := make([]int32, sp*n)
+	par.Do(sp, func(w int) {
+		c := counts[w*n : (w+1)*n]
+		for i := eb[w]; i < eb[w+1]; i++ {
+			c[keys[i]]++
+			if mirror && keys[i] != vals[i] {
+				c[vals[i]]++
+			}
+		}
+	})
+
+	// Offsets: per-vertex exclusive scan across shards (turning each
+	// stripe entry into the shard's start within the row), then a
+	// two-pass parallel prefix sum over vertex ranges.
+	off := make([]int64, n+1)
+	vb := make([]int, sp+1)
+	for i := 0; i <= sp; i++ {
+		vb[i] = i * n / sp
+	}
+	rangeTotal := make([]int64, sp)
+	par.Do(sp, func(w int) {
+		var tot int64
+		for v := vb[w]; v < vb[w+1]; v++ {
+			var run int32
+			for q := 0; q < sp; q++ {
+				c := counts[q*n+v]
+				counts[q*n+v] = run
+				run += c
+			}
+			off[v+1] = int64(run)
+			tot += int64(run)
+		}
+		rangeTotal[w] = tot
+	})
+	var base int64
+	for w := 0; w < sp; w++ {
+		base, rangeTotal[w] = base+rangeTotal[w], base
+	}
+	par.Do(sp, func(w int) {
+		run := rangeTotal[w]
+		for v := vb[w]; v < vb[w+1]; v++ {
+			run += off[v+1]
+			off[v+1] = run
+		}
+	})
+
+	// Scatter: each worker walks its edge shard in order, placing entries
+	// at off[v] + stripe cursor.
+	total := off[n]
+	adj := make([]int32, total)
+	var wgt []float64
+	if ws != nil {
+		wgt = make([]float64, total)
+	}
+	par.Do(sp, func(w int) {
+		cur := counts[w*n : (w+1)*n]
+		for i := eb[w]; i < eb[w+1]; i++ {
+			s, d := keys[i], vals[i]
+			pos := off[s] + int64(cur[s])
+			cur[s]++
+			adj[pos] = d
+			if wgt != nil {
+				wgt[pos] = ws[i]
+			}
+			if mirror && s != d {
+				pos := off[d] + int64(cur[d])
+				cur[d]++
+				adj[pos] = s
+				if wgt != nil {
+					wgt[pos] = ws[i]
+				}
+			}
+		}
+	})
+
+	sortRows(off, adj, wgt, ingestProcs(m))
+	return off, adj, wgt
+}
+
+// sortRows stable-sorts every adjacency row by neighbor index, in
+// parallel across vertex ranges balanced by edge count.
+func sortRows(off []int64, adj []int32, w []float64, p int) {
+	vb := vertexShardsByWork(off, p)
+	par.Do(p, func(worker int) {
+		var rs rowSorter
+		for v := vb[worker]; v < vb[worker+1]; v++ {
+			lo, hi := off[v], off[v+1]
+			if hi-lo < 2 {
+				continue
+			}
+			if w == nil {
+				rs.sort(adj[lo:hi], nil)
+			} else {
+				rs.sort(adj[lo:hi], w[lo:hi])
+			}
+		}
+	})
+}
+
+// insertionMax is the row length at or below which binary-shift insertion
+// sort beats the radix setup cost.
+const insertionMax = 32
+
+// rowSorter stable-sorts one adjacency row at a time, reusing scratch
+// across rows so a whole vertex shard sorts with O(1) allocations.
+type rowSorter struct {
+	adjTmp []int32
+	wTmp   []float64
+	count  [256]int32
+}
+
+func (rs *rowSorter) sort(adj []int32, w []float64) {
+	if len(adj) <= insertionMax {
+		if w == nil {
+			insertionSortAdj(adj)
+		} else {
+			insertionSortAdjW(adj, w)
+		}
+		return
+	}
+	rs.radixSort(adj, w)
+}
+
+// insertionSortAdj is a stable insertion sort over neighbor indexes.
+func insertionSortAdj(adj []int32) {
+	for i := 1; i < len(adj); i++ {
+		a := adj[i]
+		j := i - 1
+		for j >= 0 && adj[j] > a {
+			adj[j+1] = adj[j]
+			j--
+		}
+		adj[j+1] = a
+	}
+}
+
+// insertionSortAdjW is insertionSortAdj with the weight column kept
+// parallel.
+func insertionSortAdjW(adj []int32, w []float64) {
+	for i := 1; i < len(adj); i++ {
+		a, wv := adj[i], w[i]
+		j := i - 1
+		for j >= 0 && adj[j] > a {
+			adj[j+1], w[j+1] = adj[j], w[j]
+			j--
+		}
+		adj[j+1], w[j+1] = a, wv
+	}
+}
+
+// radixSort is a stable byte-wise LSD radix sort; neighbor indexes are
+// non-negative so unsigned byte order is value order. Passes above the
+// row maximum and passes where every key shares a byte are skipped.
+func (rs *rowSorter) radixSort(adj []int32, w []float64) {
+	nr := len(adj)
+	if cap(rs.adjTmp) < nr {
+		rs.adjTmp = make([]int32, nr)
+		if w != nil {
+			rs.wTmp = make([]float64, nr)
+		}
+	}
+	if w != nil && cap(rs.wTmp) < nr {
+		rs.wTmp = make([]float64, nr)
+	}
+	src, dst := adj, rs.adjTmp[:nr]
+	var wsrc, wdst []float64
+	if w != nil {
+		wsrc, wdst = w, rs.wTmp[:nr]
+	}
+	var max int32
+	for _, a := range src {
+		if a > max {
+			max = a
+		}
+	}
+	for shift := uint(0); max>>shift != 0; shift += 8 {
+		count := &rs.count
+		*count = [256]int32{}
+		for _, a := range src {
+			count[(a>>shift)&0xff]++
+		}
+		// A pass where every key shares the byte moves nothing.
+		if count[(src[0]>>shift)&0xff] == int32(nr) {
+			continue
+		}
+		var run int32
+		for b := range count {
+			c := count[b]
+			count[b] = run
+			run += c
+		}
+		if w != nil {
+			for i, a := range src {
+				b := (a >> shift) & 0xff
+				pos := count[b]
+				count[b]++
+				dst[pos] = a
+				wdst[pos] = wsrc[i]
+			}
+		} else {
+			for _, a := range src {
+				b := (a >> shift) & 0xff
+				pos := count[b]
+				count[b]++
+				dst[pos] = a
+			}
+		}
+		src, dst = dst, src
+		wsrc, wdst = wdst, wsrc
+	}
+	if &src[0] != &adj[0] {
+		copy(adj, src)
+		if w != nil {
+			copy(w, wsrc)
+		}
+	}
+}
+
+// permuteCSR relabels one CSR side by perm in O(n+m): new offsets from
+// permuted degrees, rows copied with neighbors mapped through perm, then
+// re-sorted. Parallel edges keep their input order (the old row is
+// stable-sorted, the copy preserves it, and the re-sort is stable), so
+// the result matches the Builder-based reference bit for bit.
+func permuteCSR(off []int64, adj []int32, w []float64, perm []int32) ([]int64, []int32, []float64) {
+	n := len(off) - 1
+	mm := len(adj)
+	p := ingestProcs(mm)
+	noff := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		noff[perm[v]+1] = off[v+1] - off[v]
+	}
+	for v := 0; v < n; v++ {
+		noff[v+1] += noff[v]
+	}
+	nadj := make([]int32, mm)
+	var nw []float64
+	if w != nil {
+		nw = make([]float64, mm)
+	}
+	vb := vertexShardsByWork(off, p)
+	par.Do(p, func(worker int) {
+		var rs rowSorter
+		for v := vb[worker]; v < vb[worker+1]; v++ {
+			lo, hi := off[v], off[v+1]
+			if lo == hi {
+				continue
+			}
+			nlo := noff[perm[v]]
+			row := nadj[nlo : nlo+(hi-lo)]
+			for i, u := range adj[lo:hi] {
+				row[i] = perm[u]
+			}
+			if w == nil {
+				rs.sort(row, nil)
+			} else {
+				wrow := nw[nlo : nlo+(hi-lo)]
+				copy(wrow, w[lo:hi])
+				rs.sort(row, wrow)
+			}
+		}
+	})
+	return noff, nadj, nw
+}
+
+// symmetrize builds the undirected CSR of a directed graph in O(n+m):
+// row v is the sorted merge of Out(v) and In(v), with self-loops stored
+// once. Both inputs are stable-sorted, so the merge resolves equal
+// neighbors to the order the Builder-based reference produces — edges
+// sorted by source index — without any comparison sort.
+func symmetrize(g *Graph) ([]int64, []int32, []float64) {
+	n := len(g.ids)
+	p := ingestProcs(len(g.outDst) + len(g.inSrc))
+	noff := make([]int64, n+1)
+
+	// Row lengths: outdeg + indeg − self-loop count (each directed
+	// self-loop appears in both input rows but is stored once).
+	vb := make([]int32, p+1)
+	for i := 0; i <= p; i++ {
+		vb[i] = int32(i * n / p)
+	}
+	par.Do(p, func(worker int) {
+		for v := vb[worker]; v < vb[worker+1]; v++ {
+			row := g.outDst[g.outOff[v]:g.outOff[v+1]]
+			i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+			self := 0
+			for i+self < len(row) && row[i+self] == v {
+				self++
+			}
+			noff[v+1] = (g.outOff[v+1] - g.outOff[v]) + (g.inOff[v+1] - g.inOff[v]) - int64(self)
+		}
+	})
+	for v := 0; v < n; v++ {
+		noff[v+1] += noff[v]
+	}
+
+	nadj := make([]int32, noff[n])
+	var nw []float64
+	if g.outW != nil {
+		nw = make([]float64, noff[n])
+	}
+	mb := vertexShardsByWork(noff, p)
+	par.Do(p, func(worker int) {
+		for v := mb[worker]; v < mb[worker+1]; v++ {
+			out := g.outDst[g.outOff[v]:g.outOff[v+1]]
+			in := g.inSrc[g.inOff[v]:g.inOff[v+1]]
+			var outw, inw []float64
+			if nw != nil {
+				outw = g.outW[g.outOff[v]:g.outOff[v+1]]
+				inw = g.inW[g.inOff[v]:g.inOff[v+1]]
+			}
+			pos := noff[v]
+			i, j := 0, 0
+			for i < len(out) && j < len(in) {
+				a, b := out[i], in[j]
+				switch {
+				case a < b:
+					nadj[pos] = a
+					if nw != nil {
+						nw[pos] = outw[i]
+					}
+					i++
+				case b < a:
+					nadj[pos] = b
+					if nw != nil {
+						nw[pos] = inw[j]
+					}
+					j++
+				case a == v:
+					// Self-loop: both rows carry the same edges in the
+					// same order; keep the out copy, drop the in copy.
+					nadj[pos] = a
+					if nw != nil {
+						nw[pos] = outw[i]
+					}
+					i++
+					j++
+				case a < v:
+					// Neighbor u < v: the u→v edges precede the v→u ones
+					// in the reference's source-ordered emission.
+					nadj[pos] = b
+					if nw != nil {
+						nw[pos] = inw[j]
+					}
+					j++
+				default:
+					nadj[pos] = a
+					if nw != nil {
+						nw[pos] = outw[i]
+					}
+					i++
+				}
+				pos++
+			}
+			for ; i < len(out); i++ {
+				nadj[pos] = out[i]
+				if nw != nil {
+					nw[pos] = outw[i]
+				}
+				pos++
+			}
+			for ; j < len(in); j++ {
+				nadj[pos] = in[j]
+				if nw != nil {
+					nw[pos] = inw[j]
+				}
+				pos++
+			}
+		}
+	})
+	return noff, nadj, nw
+}

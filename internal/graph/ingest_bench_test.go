@@ -1,0 +1,110 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"aap/internal/gen"
+	"aap/internal/graph"
+)
+
+// The ingest benchmarks measure the three stages of getting a graph into
+// the engine — CSR construction, relabeling, and symmetrization — on a
+// power-law graph shaped like the harness datasets. Builder fill (the
+// external-id dedup map) is excluded: it is paid once per dataset and is
+// not part of the Build/Relabel/AsUndirected hot path.
+
+const (
+	benchN   = 150_000
+	benchDeg = 16
+)
+
+// fillBuilder adds benchN*benchDeg power-law edges to a fresh Builder.
+func fillBuilder(directed, weighted bool) *graph.Builder {
+	rng := rand.New(rand.NewSource(42))
+	n := benchN
+	b := graph.NewBuilder(directed)
+	if weighted {
+		b.SetWeighted()
+	}
+	b.Reserve(n, n*benchDeg)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.VertexID(i))
+	}
+	for e := 0; e < n*benchDeg; e++ {
+		// Zipf-ish endpoints: square the uniform draw to skew low ids.
+		f := rng.Float64()
+		s := int32(f * f * float64(n))
+		d := int32(rng.Intn(n))
+		if s == d {
+			d = (d + 1) % int32(n)
+		}
+		if weighted {
+			b.AddWeightedEdge(graph.VertexID(s), graph.VertexID(d), 1+rng.Float64()*99)
+		} else {
+			b.AddEdge(graph.VertexID(s), graph.VertexID(d))
+		}
+	}
+	return b
+}
+
+func BenchmarkBuildDirectedWeighted(b *testing.B) {
+	bld := fillBuilder(true, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := bld.Build()
+		if g.NumVertices() != benchN {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func BenchmarkBuildUndirected(b *testing.B) {
+	bld := fillBuilder(false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := bld.Build()
+		if g.NumVertices() != benchN {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func BenchmarkRelabel(b *testing.B) {
+	g := fillBuilder(true, true).Build()
+	n := g.NumVertices()
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Relabel(g, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAsUndirected(b *testing.B) {
+	g := fillBuilder(true, true).Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.AsUndirected(g)
+		if u.Directed() {
+			b.Fatal("still directed")
+		}
+	}
+}
+
+// BenchmarkBuildGenPowerLaw measures Build behind the generator used by
+// the harness datasets (fill + build, the full generator cost).
+func BenchmarkBuildGenPowerLaw(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := gen.PowerLaw(benchN, benchDeg, 2.1, true, 42)
+		if g.NumVertices() != benchN {
+			b.Fatal("bad build")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package par is the tiny fan-out toolbox shared by the ingest
+// pipeline's parallel stages (graph CSR construction, partition border
+// sweeps): pick a worker count proportional to the work, run a function
+// across workers, wait.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Override forces the worker count returned by Procs when nonzero.
+// Tests use it to exercise multi-shard code paths on single-core
+// machines; production code leaves it zero.
+var Override int
+
+// Procs returns the worker count for `work` units of sharded work,
+// adding a worker only per `grain` units so tiny inputs stay
+// single-threaded, capped at GOMAXPROCS.
+func Procs(work int64, grain int) int {
+	if Override > 0 {
+		return Override
+	}
+	p := runtime.GOMAXPROCS(0)
+	if lim := 1 + int(work/int64(grain)); p > lim {
+		p = lim
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Do runs fn(0), …, fn(p-1) concurrently and waits for all of them.
+func Do(p int, fn func(worker int)) {
+	if p <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,70 @@
+// Sequential map-based border computation, retained from the
+// pre-bitset pipeline as the differential-test oracle.
+package partition
+
+import "sort"
+
+// refBorders holds everything the old computeBorders produced: the four
+// sorted border sets per fragment and the map-based holder index.
+type refBorders struct {
+	in, outPrime, out, inPrime [][]int32
+	holders                    map[int32][]int32
+}
+
+// bordersRef recomputes border sets and holders with the original
+// map-per-fragment sweep over the renumbered graph.
+func (p *Partitioned) bordersRef() refBorders {
+	type borderSets struct {
+		in, outPrime, out, inPrime map[int32]bool
+	}
+	sets := make([]borderSets, p.M)
+	for i := range sets {
+		sets[i] = borderSets{
+			in:       make(map[int32]bool),
+			outPrime: make(map[int32]bool),
+			out:      make(map[int32]bool),
+			inPrime:  make(map[int32]bool),
+		}
+	}
+	n := int32(p.G.NumVertices())
+	for v := int32(0); v < n; v++ {
+		fv := p.Owner(v)
+		for _, u := range p.G.Out(v) {
+			fu := p.Owner(u)
+			if fu == fv {
+				continue
+			}
+			// Edge v->u crosses fragments fv -> fu.
+			sets[fv].outPrime[v] = true
+			sets[fv].out[u] = true
+			sets[fu].in[u] = true
+			sets[fu].inPrime[v] = true
+		}
+	}
+	ref := refBorders{
+		in:       make([][]int32, p.M),
+		outPrime: make([][]int32, p.M),
+		out:      make([][]int32, p.M),
+		inPrime:  make([][]int32, p.M),
+		holders:  make(map[int32][]int32),
+	}
+	for i := range sets {
+		ref.in[i] = sortedKeys(sets[i].in)
+		ref.outPrime[i] = sortedKeys(sets[i].outPrime)
+		ref.out[i] = sortedKeys(sets[i].out)
+		ref.inPrime[i] = sortedKeys(sets[i].inPrime)
+		for _, v := range ref.out[i] {
+			ref.holders[v] = append(ref.holders[v], int32(i))
+		}
+	}
+	return ref
+}
+
+func sortedKeys(m map[int32]bool) []int32 {
+	ks := make([]int32, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

@@ -1,0 +1,82 @@
+package partition_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"aap/internal/graph"
+	"aap/internal/partition"
+)
+
+// benchGraph builds the partition-bench input once: a directed weighted
+// power-law graph shaped like the harness datasets.
+func benchGraph(n, deg int) *graph.Graph {
+	rng := rand.New(rand.NewSource(42))
+	b := graph.NewBuilder(true)
+	b.SetWeighted()
+	b.Reserve(n, n*deg)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.VertexID(i))
+	}
+	for e := 0; e < n*deg; e++ {
+		f := rng.Float64()
+		s := int32(f * f * float64(n))
+		d := int32(rng.Intn(n))
+		if s == d {
+			d = (d + 1) % int32(n)
+		}
+		b.AddWeightedEdge(graph.VertexID(s), graph.VertexID(d), 1+rng.Float64()*99)
+	}
+	return b.Build()
+}
+
+// BenchmarkPartitionBuild measures the full partition pipeline (assign +
+// relabel + border sets + routing tables) with the hash strategy, the
+// worst case for border-set size.
+func BenchmarkPartitionBuild(b *testing.B) {
+	g := benchGraph(150_000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := partition.Build(g, 16, partition.Hash{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.M != 16 {
+			b.Fatal("bad partition")
+		}
+	}
+}
+
+// BenchmarkIngestEndToEnd is the acceptance benchmark: CSR build plus the
+// full partition pipeline, everything between "edges in memory" and "engine
+// ready to run".
+func BenchmarkIngestEndToEnd(b *testing.B) {
+	n, deg := 150_000, 16
+	rng := rand.New(rand.NewSource(42))
+	bld := graph.NewBuilder(true)
+	bld.SetWeighted()
+	bld.Reserve(n, n*deg)
+	for i := 0; i < n; i++ {
+		bld.AddVertex(graph.VertexID(i))
+	}
+	for e := 0; e < n*deg; e++ {
+		f := rng.Float64()
+		s := int32(f * f * float64(n))
+		d := int32(rng.Intn(n))
+		if s == d {
+			d = (d + 1) % int32(n)
+		}
+		bld.AddWeightedEdge(graph.VertexID(s), graph.VertexID(d), 1+rng.Float64()*99)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := bld.Build()
+		p, err := partition.Build(g, 16, partition.Hash{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.M != 16 {
+			b.Fatal("bad partition")
+		}
+	}
+}

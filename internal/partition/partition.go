@@ -109,14 +109,30 @@ type Partitioned struct {
 	// binary search over Ranges on the per-Send hot path.
 	owner []int32
 
-	holders  map[int32][]int32
+	// holderOff/holderDat are the routing index I_i in CSR form: the
+	// fragments holding a copy of vertex v are
+	// holderDat[holderOff[v]:holderOff[v+1]], ascending. Two array loads
+	// replace the former map[int32][]int32 lookup.
+	holderOff []int32
+	holderDat []int32
+
+	// sizes[i] is ||F_i|| (owned vertices + owned edges), computed once
+	// in Build so Skew never rescans degrees.
+	sizes []float64
+
 	strategy string
 }
 
 // Holders returns the fragments (other than the owner) holding a copy of
 // vertex v in their F.O set — the routing index I_i of the paper, used to
-// push an owner's canonical value back to every copy.
-func (p *Partitioned) Holders(v int32) []int32 { return p.holders[v] }
+// push an owner's canonical value back to every copy. Ids outside the
+// vertex range (SendTo's synthetic routing keys) have no holders.
+func (p *Partitioned) Holders(v int32) []int32 {
+	if v < 0 || int(v) >= len(p.holderOff)-1 {
+		return nil
+	}
+	return p.holderDat[p.holderOff[v]:p.holderOff[v+1]]
+}
 
 // Strategy returns the name of the strategy that produced the partition.
 func (p *Partitioned) Strategy() string { return p.strategy }
@@ -147,16 +163,10 @@ func (p *Partitioned) ownerSearch(v int32) int {
 
 // Skew returns ||F_max|| / ||F_median||, the imbalance measure r used in
 // Exp-4 of the paper, with fragment size measured as owned vertices plus
-// owned edges.
+// owned edges. Fragment sizes are precomputed in Build (each is one CSR
+// offset subtraction), so Skew costs O(m log m) in fragments, not O(n).
 func (p *Partitioned) Skew() float64 {
-	sizes := make([]float64, p.M)
-	for i, f := range p.Frags {
-		var edges int64
-		for v := f.Lo; v < f.Hi; v++ {
-			edges += int64(p.G.OutDegree(v))
-		}
-		sizes[i] = float64(int64(f.NumOwned()) + edges)
-	}
+	sizes := append([]float64(nil), p.sizes...)
 	sort.Float64s(sizes)
 	med := sizes[p.M/2]
 	if med == 0 {
@@ -211,76 +221,26 @@ func Build(g *graph.Graph, m int, s Strategy) (*Partitioned, error) {
 			p.owner[v] = int32(i)
 		}
 	}
+	p.sizes = make([]float64, m)
+	for i := 0; i < m; i++ {
+		p.sizes[i] = float64(int64(ranges[i+1]-ranges[i]) + rg.OutSpan(ranges[i], ranges[i+1]))
+	}
 	p.Frags = make([]*Fragment, m)
 	for i := 0; i < m; i++ {
-		f := &Fragment{
-			ID:   i,
-			Lo:   ranges[i],
-			Hi:   ranges[i+1],
-			slot: make([]int32, n),
-			p:    p,
-		}
+		p.Frags[i] = &Fragment{ID: i, Lo: ranges[i], Hi: ranges[i+1], p: p}
+	}
+	// The per-fragment slot tables are m dense arrays of length n; fill
+	// them in parallel, one fragment per task.
+	parFrags(p.M, func(i int) {
+		f := p.Frags[i]
+		f.slot = make([]int32, n)
 		for v := range f.slot {
 			f.slot[v] = -1
 		}
 		for v := f.Lo; v < f.Hi; v++ {
 			f.slot[v] = v - f.Lo
 		}
-		p.Frags[i] = f
-	}
+	})
 	p.computeBorders()
 	return p, nil
-}
-
-// computeBorders fills the four border sets of each fragment from the
-// renumbered graph.
-func (p *Partitioned) computeBorders() {
-	type borderSets struct {
-		in, outPrime, out, inPrime map[int32]bool
-	}
-	sets := make([]borderSets, p.M)
-	for i := range sets {
-		sets[i] = borderSets{
-			in:       make(map[int32]bool),
-			outPrime: make(map[int32]bool),
-			out:      make(map[int32]bool),
-			inPrime:  make(map[int32]bool),
-		}
-	}
-	n := int32(p.G.NumVertices())
-	for v := int32(0); v < n; v++ {
-		fv := p.Owner(v)
-		for _, u := range p.G.Out(v) {
-			fu := p.Owner(u)
-			if fu == fv {
-				continue
-			}
-			// Edge v->u crosses fragments fv -> fu.
-			sets[fv].outPrime[v] = true
-			sets[fv].out[u] = true
-			sets[fu].in[u] = true
-			sets[fu].inPrime[v] = true
-		}
-	}
-	p.holders = make(map[int32][]int32)
-	for i, f := range p.Frags {
-		f.In = sortedKeys(sets[i].in)
-		f.OutPrime = sortedKeys(sets[i].outPrime)
-		f.Out = sortedKeys(sets[i].out)
-		f.InPrime = sortedKeys(sets[i].inPrime)
-		base := int32(f.NumOwned())
-		for s, v := range f.Out {
-			f.slot[v] = base + int32(s)
-			p.holders[v] = append(p.holders[v], int32(i))
-		}
-	}
-}
-
-func sortedKeys(m map[int32]bool) []int32 {
-	ks := make([]int32, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-	return ks
 }
