@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	aapbench -exp table1|fig1|fig6a..fig6h|fig6i|fig6j|fig6k|fig6l|fig7|exp2|cfcase|all
+//	aapbench -exp table1|fig1|fig6a..fig6h|fig6i|fig6j|fig6k|fig6l|fig7|exp2|cfcase|ingest|all
 //	aapbench -exp fig6b -workers 64,96,128,160,192
 //	aapbench -exp fig6b -cpuprofile cpu.pprof -memprofile mem.pprof
+//	aapbench -exp ingest -input graph.txt
 //
 // Dataset sizes scale with the AAP_SCALE environment variable.
 package main
@@ -24,9 +25,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig1, fig6a..fig6l, fig7, exp2, cfcase, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig1, fig6a..fig6l, fig7, exp2, cfcase, ingest, all)")
 	workersFlag := flag.String("workers", "16,32,48,64", "comma-separated worker counts for figure sweeps")
 	tableWorkers := flag.Int("table-workers", 32, "worker count for table1/exp2")
+	input := flag.String("input", "", "edge-list file for -exp ingest (default: generated stand-ins)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
@@ -52,7 +54,7 @@ func main() {
 			f.Close()
 		}
 	}
-	if err := run(*exp, workers, *tableWorkers); err != nil {
+	if err := run(*exp, workers, *tableWorkers, *input); err != nil {
 		stopProfile()
 		fatal(err)
 	}
@@ -87,10 +89,11 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, workers []int, tableWorkers int) error {
+func run(exp string, workers []int, tableWorkers int, input string) error {
 	experiments := map[string]func() (string, error){
 		"table1": func() (string, error) { return harness.Table1(tableWorkers) },
 		"fig1":   harness.Fig1,
+		"ingest": func() (string, error) { return harness.Ingest(input) },
 		"fig6i":  func() (string, error) { return harness.Fig6ScaleUp("sssp", workers) },
 		"fig6j":  func() (string, error) { return harness.Fig6ScaleUp("pagerank", workers) },
 		"fig6k":  func() (string, error) { return harness.Fig6k(tableWorkers, []float64{1, 3, 5, 7, 9}) },
@@ -109,7 +112,7 @@ func run(exp string, workers []int, tableWorkers int) error {
 		names = []string{
 			"table1", "fig1",
 			"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h",
-			"fig6i", "fig6j", "fig6k", "fig6l", "exp2", "fig7", "cfcase",
+			"fig6i", "fig6j", "fig6k", "fig6l", "exp2", "fig7", "cfcase", "ingest",
 		}
 	}
 	for _, name := range names {

@@ -38,17 +38,17 @@ func main() {
 	if *graphPath == "" {
 		fatal(fmt.Errorf("-graph is required"))
 	}
-	f, err := os.Open(*graphPath)
+	st, err := os.Stat(*graphPath)
 	if err != nil {
 		fatal(err)
 	}
 	t0 := time.Now()
-	g, err := graph.ReadEdgeList(f)
-	f.Close()
+	g, err := graph.ReadEdgeListFile(*graphPath)
 	if err != nil {
 		fatal(err)
 	}
 	loadSecs := time.Since(t0).Seconds()
+	loadRate := graph.Throughput(st.Size(), g.NumEdges(), loadSecs)
 
 	var strat partition.Strategy
 	switch *strategy {
@@ -110,7 +110,8 @@ func main() {
 
 	fmt.Printf("%s/%s on %s: %d vertices, %d edges, %d workers\n",
 		*algo, stats.Mode, *graphPath, g.NumVertices(), g.NumEdges(), *workers)
-	fmt.Printf("ingest: load %.3fs, partition(%s) %.3fs\n", loadSecs, p.Strategy(), partSecs)
+	fmt.Printf("ingest: load %.3fs (%s), partition(%s) %.3fs\n",
+		loadSecs, loadRate, p.Strategy(), partSecs)
 	fmt.Printf("time %.3fs, rounds max %d, messages %d, bytes %d\n",
 		stats.Seconds, stats.MaxRound, stats.TotalMsgs, stats.TotalBytes)
 	if *out != "" {

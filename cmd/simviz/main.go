@@ -8,18 +8,21 @@
 //	simviz -exp fig1
 //	simviz -exp fig7
 //	simviz -algo pagerank -workers 8 -straggler 3 -slow 4
+//	simviz -graph g.txt -algo sssp -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"aap/internal/algo/cc"
 	"aap/internal/algo/pagerank"
 	"aap/internal/algo/sssp"
 	"aap/internal/core"
+	"aap/internal/graph"
 	"aap/internal/harness"
 	"aap/internal/partition"
 	"aap/internal/sim"
@@ -27,7 +30,9 @@ import (
 
 func main() {
 	exp := flag.String("exp", "", "predefined experiment: fig1 or fig7")
+	graphPath := flag.String("graph", "", "edge-list file for custom runs (default: generated friendster stand-in)")
 	algo := flag.String("algo", "pagerank", "algorithm for custom runs: sssp, cc, pagerank")
+	source := flag.Int64("source", 0, "SSSP source vertex id for custom runs")
 	workers := flag.Int("workers", 8, "number of workers")
 	straggler := flag.Int("straggler", 0, "index of the straggler worker")
 	slow := flag.Float64("slow", 4, "straggler slowdown factor")
@@ -54,7 +59,30 @@ func main() {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
 
-	ds := harness.FriendsterSim(harness.Scale())
+	var ds harness.Dataset
+	if *graphPath != "" {
+		st, err := os.Stat(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		g, err := graph.ReadEdgeListFile(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		secs := time.Since(t0).Seconds()
+		fmt.Printf("loaded %s in %.3fs (%s)\n",
+			*graphPath, secs, graph.Throughput(st.Size(), g.NumEdges(), secs))
+		ds = harness.Dataset{Name: filepath.Base(*graphPath), Graph: g}
+	} else {
+		ds = harness.FriendsterSim(harness.Scale())
+	}
+	ds.Source = graph.VertexID(*source)
+	if *algo == "sssp" {
+		if _, ok := ds.Graph.IndexOf(ds.Source); !ok {
+			fmt.Fprintf(os.Stderr, "simviz: warning: source vertex %d not in the graph; all distances stay Inf\n", *source)
+		}
+	}
 	t0 := time.Now()
 	p, err := partition.Build(ds.Graph, *workers, partition.BFSLocality{})
 	if err != nil {

@@ -11,7 +11,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
+	"time"
 
 	"aap/internal/algo/cc"
 	"aap/internal/algo/pagerank"
@@ -24,7 +26,41 @@ import (
 
 func main() {
 	g := gen.PowerLaw(20000, 8, 2.1, false, 42)
-	fmt.Printf("social network: %d users, %d follows\n\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("social network: %d users, %d follows\n", g.NumVertices(), g.NumEdges())
+
+	// Round-trip through the on-disk format: production inputs arrive as
+	// edge-list files, so run the same bytes→graph path — the chunked
+	// parallel loader — and continue on the reloaded graph.
+	f, err := os.CreateTemp("", "social-sim-*.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	// log.Fatal exits without running deferred cleanup, so failures
+	// after this point remove the temp file explicitly.
+	fatal := func(err error) {
+		os.Remove(path)
+		log.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	g, err = graph.ReadEdgeListFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	secs := time.Since(t0).Seconds()
+	fmt.Printf("reloaded from disk: %.1f MB in %.3fs (%s)\n\n",
+		float64(fi.Size())/(1<<20), secs, graph.Throughput(fi.Size(), g.NumEdges(), secs))
 
 	und := graph.AsUndirected(g)
 	p, err := partition.Build(und, 8, partition.BFSLocality{Seed: 1})

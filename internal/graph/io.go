@@ -4,44 +4,70 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
-	"strings"
 )
+
+// Throughput renders an ingest rate as "X MB/s, YM edges/s" — the load
+// report shared by grapecli, simviz, and the examples.
+func Throughput(bytes, edges int64, secs float64) string {
+	return fmt.Sprintf("%.1f MB/s, %.2fM edges/s",
+		float64(bytes)/(1<<20)/secs, float64(edges)/secs/1e6)
+}
 
 // WriteEdgeList writes g in a plain text edge-list format:
 //
-//	# directed=<bool> weighted=<bool>
+//	# directed=<bool> weighted=<bool> n=<vertices> m=<edges>
 //	<src> <dst> [<weight>]
 //
 // one edge per line using external vertex identifiers. Isolated vertices
-// are written as "v <id>" lines so a round trip preserves them.
+// are written as "v <id>" lines so a round trip preserves them. The
+// n=/m= header counts let ReadEdgeList size its buffers exactly once;
+// readers of headerless SNAP-style files still work, they just grow.
+//
+// Lines are formatted with strconv.Append* into one reused buffer —
+// no fmt, no per-line allocations.
 func WriteEdgeList(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "# directed=%t weighted=%t\n", g.Directed(), g.Weighted()); err != nil {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 80)
+	buf = append(buf, "# directed="...)
+	buf = strconv.AppendBool(buf, g.Directed())
+	buf = append(buf, " weighted="...)
+	buf = strconv.AppendBool(buf, g.Weighted())
+	buf = append(buf, " n="...)
+	buf = strconv.AppendInt(buf, int64(g.NumVertices()), 10)
+	buf = append(buf, " m="...)
+	buf = strconv.AppendInt(buf, g.NumEdges(), 10)
+	buf = append(buf, '\n')
+	if _, err := bw.Write(buf); err != nil {
 		return err
 	}
-	deg := make([]int64, g.NumVertices())
-	g.Edges(func(src, dst int32, wt float64) {
-		deg[src]++
-		deg[dst]++
-	})
 	var err error
 	g.Edges(func(src, dst int32, wt float64) {
 		if err != nil {
 			return
 		}
+		buf = strconv.AppendInt(buf[:0], int64(g.IDOf(src)), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(g.IDOf(dst)), 10)
 		if g.Weighted() {
-			_, err = fmt.Fprintf(bw, "%d %d %g\n", g.IDOf(src), g.IDOf(dst), wt)
-		} else {
-			_, err = fmt.Fprintf(bw, "%d %d\n", g.IDOf(src), g.IDOf(dst))
+			buf = append(buf, ' ')
+			buf = strconv.AppendFloat(buf, wt, 'g', -1, 64)
 		}
+		buf = append(buf, '\n')
+		_, err = bw.Write(buf)
 	})
 	if err != nil {
 		return err
 	}
+	// Isolated vertices: no incident edges in either direction. The CSR
+	// offsets answer that in O(1) per vertex, no edge sweep needed.
 	for v := int32(0); v < int32(g.NumVertices()); v++ {
-		if deg[v] == 0 {
-			if _, err := fmt.Fprintf(bw, "v %d\n", g.IDOf(v)); err != nil {
+		if g.OutDegree(v) == 0 && g.InDegree(v) == 0 {
+			buf = append(buf[:0], 'v', ' ')
+			buf = strconv.AppendInt(buf, int64(g.IDOf(v)), 10)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
 				return err
 			}
 		}
@@ -49,76 +75,33 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
-// with '#' other than the header are ignored, as are blank lines, so
-// ordinary SNAP-style edge lists also load (defaulting to directed,
-// unweighted unless a third column is present).
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines
+// starting with '#' other than the header are ignored, as are blank
+// lines, so ordinary SNAP-style edge lists also load (defaulting to
+// directed, unweighted unless a third column is present).
+//
+// The input is slurped and parsed by the chunked parallel loader
+// (loader.go): the byte range splits into newline-aligned chunks parsed
+// concurrently, external ids intern through hash-sharded maps, and a
+// deterministic merge reproduces the exact graph the retained
+// sequential reference reader builds — same vertex order, same edge
+// order, same errors. One divergence: only ASCII whitespace separates
+// fields (the reference's strings.Fields also accepted NBSP/NEL).
 func ReadEdgeList(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	directed := true
-	weighted := false
-	headerSeen := false
-	var b *Builder
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		if strings.HasPrefix(text, "#") {
-			if !headerSeen && strings.Contains(text, "directed=") {
-				headerSeen = true
-				directed = strings.Contains(text, "directed=true")
-				weighted = strings.Contains(text, "weighted=true")
-			}
-			continue
-		}
-		if b == nil {
-			b = NewBuilder(directed)
-			if weighted {
-				b.SetWeighted()
-			}
-		}
-		fields := strings.Fields(text)
-		if fields[0] == "v" {
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("graph: line %d: bad vertex line", line)
-			}
-			id, err := strconv.ParseInt(fields[1], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", line, err)
-			}
-			b.AddVertex(VertexID(id))
-			continue
-		}
-		if len(fields) < 2 || len(fields) > 3 {
-			return nil, fmt.Errorf("graph: line %d: expected 2 or 3 fields, got %d", line, len(fields))
-		}
-		src, err := strconv.ParseInt(fields[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", line, err)
-		}
-		dst, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", line, err)
-		}
-		if len(fields) == 3 {
-			wt, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", line, err)
-			}
-			b.AddWeightedEdge(VertexID(src), VertexID(dst), wt)
-		} else {
-			b.AddEdge(VertexID(src), VertexID(dst))
-		}
-	}
-	if err := sc.Err(); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, err
 	}
-	if b == nil {
-		b = NewBuilder(directed)
+	return ParseEdgeList(data)
+}
+
+// ReadEdgeListFile loads an edge-list file through the parallel parser.
+// os.ReadFile sizes the buffer from the inode, so the whole path does
+// one read and one allocation before parsing starts.
+func ReadEdgeListFile(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	return b.Build(), nil
+	return ParseEdgeList(data)
 }

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+	"unicode"
+	"unicode/utf8"
+
+	"aap/internal/par"
+)
+
+// FuzzReadEdgeList feeds arbitrary byte streams through the chunked
+// parallel parser and the sequential reference, asserting identical
+// graphs or identical errors under both a single- and a multi-chunk
+// split. Only inputs containing a multi-byte unicode whitespace rune
+// (NBSP, NEL, ideographic space, …) are skipped — the one documented
+// divergence, since the reference's strings.Fields/TrimSpace treat
+// them as separators and the byte-wise tokenizer does not. All other
+// binary and invalid-UTF-8 streams must agree.
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n",
+		"# directed=true weighted=true n=3 m=2\n0 1 2.5\n1 2 0.125\n",
+		"# directed=false weighted=false\nv 5\n5 6\nv 9\n",
+		"0 1\n1 2\n2 0",
+		"# c\r\n1 2 3.5\r\n2 3 4.5\r\n",
+		"1 2 3 4\n",
+		"v\nx y\n",
+		"5 5\n5 5\n5 6\n6 5\n",
+		"# undirected=true\n+1 -2\n",
+		"0 1\n\n# mid\n1 2 1e3\n   \n2 0 .5\n",
+		"9223372036854775807 1\n1 99999999999999999999\n",
+		"# directed=true weighted=true\nv 3\n",
+		"0 1 0x1p-2\n",
+		"\t0\t1\t\n1 2\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for i := 0; i < len(data); {
+			r, size := utf8.DecodeRune(data[i:])
+			if size > 1 && unicode.IsSpace(r) {
+				t.Skip("non-ASCII whitespace semantics intentionally diverge")
+			}
+			i += size
+		}
+		want, wantErr := readEdgeListRef(bytes.NewReader(data))
+		for _, procs := range []int{1, 3} {
+			prev := par.Override
+			par.Override = procs
+			got, gotErr := ParseEdgeList(data)
+			par.Override = prev
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("procs=%d: chunked err = %v, reference err = %v", procs, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("procs=%d: chunked err %q, reference err %q", procs, gotErr, wantErr)
+				}
+				continue
+			}
+			equalGraphs(t, tagOf("fuzz", procs, 0), got, want)
+		}
+	})
+}

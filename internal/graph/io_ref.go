@@ -1,0 +1,88 @@
+// Sequential reference edge-list reader, retained from the
+// pre-streaming loader as the differential-test oracle for the chunked
+// parallel parser in loader.go: line-by-line bufio.Scanner tokenizing
+// with strings.Fields and strconv, feeding one Builder. The parallel
+// reader must match it bit for bit on ASCII inputs — same vertex order
+// (first appearance in the token stream), same edge order, same flags,
+// and the same error for the same first bad line.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// readEdgeListRef parses the edge-list format with the original
+// single-goroutine scanner loop.
+func readEdgeListRef(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	directed := true
+	weighted := false
+	headerSeen := false
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if !headerSeen && strings.Contains(text, "directed=") {
+				headerSeen = true
+				directed = strings.Contains(text, "directed=true")
+				weighted = strings.Contains(text, "weighted=true")
+			}
+			continue
+		}
+		if b == nil {
+			b = NewBuilder(directed)
+			if weighted {
+				b.SetWeighted()
+			}
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "v" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex line", line)
+			}
+			id, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			b.AddVertex(VertexID(id))
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graph: line %d: expected 2 or 3 fields, got %d", line, len(fields))
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if len(fields) == 3 {
+			wt, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			b.AddWeightedEdge(VertexID(src), VertexID(dst), wt)
+		} else {
+			b.AddEdge(VertexID(src), VertexID(dst))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		b = NewBuilder(directed)
+	}
+	return b.Build(), nil
+}

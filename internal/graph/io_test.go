@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// parseBoth runs the chunked parallel parser and the retained sequential
+// reference over the same bytes and returns both results.
+func parseBoth(data []byte) (*Graph, error, *Graph, error) {
+	got, gotErr := ParseEdgeList(data)
+	want, wantErr := readEdgeListRef(bytes.NewReader(data))
+	return got, gotErr, want, wantErr
+}
+
+// checkSameOutcome asserts the two readers agreed: identical graphs, or
+// identical error text.
+func checkSameOutcome(t *testing.T, tag string, got *Graph, gotErr error, want *Graph, wantErr error) {
+	t.Helper()
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("%s: chunked err = %v, reference err = %v", tag, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("%s: chunked err %q, reference err %q", tag, gotErr, wantErr)
+		}
+		return
+	}
+	equalGraphs(t, tag, got, want)
+}
+
+// TestReadEdgeListMatchesReference is the primary differential pin: the
+// chunked parser must reproduce the reference bit for bit on round-trip
+// corpora covering directed/undirected, weighted/unweighted, duplicate
+// ids, parallel edges, self-loops, and isolated vertices, across forced
+// shard counts.
+func TestReadEdgeListMatchesReference(t *testing.T) {
+	for _, procs := range shardCounts {
+		for seed := int64(0); seed < 12; seed++ {
+			rng := rand.New(rand.NewSource(seed + 400))
+			directed := seed%2 == 0
+			weighted := seed%4 < 2
+			n := 1 + rng.Intn(60)
+			m := rng.Intn(300)
+			g := randomBuilder(rng, directed, weighted, n, m).buildRef()
+			var buf bytes.Buffer
+			if err := WriteEdgeList(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			forceShards(t, procs)
+			got, gotErr, want, wantErr := parseBoth(buf.Bytes())
+			checkSameOutcome(t, tagOf("read", procs, seed), got, gotErr, want, wantErr)
+		}
+	}
+}
+
+// TestReadEdgeListMatchesReferenceLarge spans many real chunks: ~60k
+// lines under a forced 7-way fan-out, so chunk boundaries, the sharded
+// dedup, and the S-way merge all carry real load.
+func TestReadEdgeListMatchesReferenceLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := randomBuilder(rng, true, true, 3000, 60000).buildRef()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 7} {
+		forceShards(t, procs)
+		got, gotErr, want, wantErr := parseBoth(buf.Bytes())
+		checkSameOutcome(t, tagOf("read-large", procs, 77), got, gotErr, want, wantErr)
+	}
+}
+
+// TestReadEdgeListHandcrafted pins the parsing corners one at a time:
+// CRLF, missing final newline, interleaved comments and blanks, v-lines,
+// mixed 2/3-field rows, the header-with-no-data quirk, tabs, signs, and
+// headers appearing after comments.
+func TestReadEdgeListHandcrafted(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"newline-only", "\n\n\n"},
+		{"comments-only", "# directed=false weighted=true\n# more\n"},
+		{"snap", "# some comment\n0 1\n1 2\n2 0\n"},
+		{"crlf", "# directed=true weighted=true\r\n1 2 0.5\r\n2 3 1.5\r\n"},
+		{"no-final-newline", "0 1\n1 2"},
+		{"no-final-newline-weighted", "# directed=true weighted=true\n0 1 2.5"},
+		{"blank-and-comments-interleaved", "0 1\n\n# mid comment\n1 2\n   \n2 0\n"},
+		{"v-lines", "# directed=false weighted=false\nv 5\n5 6\nv 9\n"},
+		{"v-line-only", "v 7\n"},
+		{"header-weighted-v-only", "# directed=true weighted=true\nv 3\nv 4\n"},
+		{"mixed-2-and-3-field", "0 1\n1 2 7.5\n2 0\n"},
+		{"mixed-3-then-2-field", "0 1 7.5\n1 2\n"},
+		{"header-weighted-2-field", "# directed=true weighted=true\n0 1\n1 2\n"},
+		{"undirected-header", "# directed=false weighted=false\n1 2\n2 3\n"},
+		{"undirected-substring-quirk", "# undirected=true\n1 2\n"},
+		{"late-header-ignored", "0 1\n# directed=false weighted=true\n1 2\n"},
+		{"header-after-comment", "# banner\n# directed=false weighted=true\n1 2 0.25\n"},
+		{"tabs-and-spaces", "\t0\t1\t \n  1  2  \n"},
+		{"signs", "+1 -2\n-2 +3\n"},
+		{"dup-ids-self-loops", "5 5\n5 5\n5 6\n6 5\n5 6\n"},
+		{"float-forms", "# directed=true weighted=true\n0 1 1e3\n1 2 .5\n2 3 3.\n3 4 0.123456789012345678\n4 5 1e-300\n"},
+		{"big-ids", "922337203685477580 1\n1 9223372036854775807\n"},
+		{"indented-comment", "   # directed=false weighted=false\n1 2\n"},
+		{"leading-blanks-then-header", "\n\n# directed=false weighted=true\n1 2 4\n"},
+	}
+	for _, procs := range shardCounts {
+		forceShards(t, procs)
+		for _, c := range cases {
+			got, gotErr, want, wantErr := parseBoth([]byte(c.in))
+			checkSameOutcome(t, c.name, got, gotErr, want, wantErr)
+		}
+	}
+}
+
+// TestReadEdgeListErrorsMatchReference pins error behavior: same first
+// error, same text, same global line number — including errors landing
+// in later chunks of a forced multi-chunk parse.
+func TestReadEdgeListErrorsMatchReference(t *testing.T) {
+	prefix := strings.Repeat("1 2\n", 40)
+	cases := []string{
+		"1 2 3 4\n",
+		"x y\n",
+		"1 y\n",
+		"1 2 z\n",
+		"v\n",
+		"v x\n",
+		"v 1 2\n",
+		"1\n",
+		"0 1\n1 2\nbogus line here with many fields\n",
+		"0 1\n99999999999999999999 2\n", // int64 overflow via strconv fallback
+		"0 1\n1 0x12\n",
+		prefix + "3 nope\n" + prefix,          // error mid-file
+		prefix + prefix + "v too many args\n", // error near the end
+		"# directed=true weighted=true\n" + prefix + "1 2 1e\n",
+	}
+	for _, procs := range shardCounts {
+		forceShards(t, procs)
+		for i, in := range cases {
+			got, gotErr, want, wantErr := parseBoth([]byte(in))
+			checkSameOutcome(t, tagOf("err", procs, int64(i)), got, gotErr, want, wantErr)
+			if wantErr == nil {
+				t.Fatalf("case %d: expected the reference to error", i)
+			}
+		}
+	}
+}
+
+// TestReadEdgeListTooLong pins the 1 MiB line ceiling the reference
+// inherits from its scanner buffer: both readers must fail with
+// bufio.ErrTooLong, before and past the boundary.
+func TestReadEdgeListTooLong(t *testing.T) {
+	forceShards(t, 3)
+	okLine := "# " + strings.Repeat("x", maxLineLen-3) // maxLineLen-1 bytes: fits
+	in := []byte("0 9\n" + okLine + "\n0 8\n")
+	got, gotErr, want, wantErr := parseBoth(in)
+	checkSameOutcome(t, "at-boundary-ok", got, gotErr, want, wantErr)
+	if wantErr != nil {
+		t.Fatalf("line of maxLineLen-1 bytes should parse, got %v", wantErr)
+	}
+
+	longLine := "# " + strings.Repeat("x", maxLineLen-2) // maxLineLen bytes: too long
+	in = []byte("0 9\n" + longLine + "\n0 8\n")
+	got, gotErr, want, wantErr = parseBoth(in)
+	checkSameOutcome(t, "past-boundary", got, gotErr, want, wantErr)
+	if wantErr != bufio.ErrTooLong {
+		t.Fatalf("reference error = %v, want bufio.ErrTooLong", wantErr)
+	}
+}
+
+// TestWriteEdgeListHeader pins the self-describing header: exact n=/m=
+// counts and a parse that consumes them as Reserve hints.
+func TestWriteEdgeListHeader(t *testing.T) {
+	b := NewBuilder(true)
+	b.SetWeighted()
+	b.AddWeightedEdge(3, 7, 1.25)
+	b.AddWeightedEdge(7, 9, 2.5)
+	b.AddVertex(42)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(buf.String(), "\n")
+	if first != "# directed=true weighted=true n=4 m=2" {
+		t.Fatalf("header = %q", first)
+	}
+	h, err := scanHeader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.directed || !h.weighted || h.nHint != 4 || h.mHint != 2 {
+		t.Fatalf("scanHeader = %+v", h)
+	}
+}
+
+// ioBenchBytes builds the benchmark input once: a 150k-vertex weighted
+// power-law edge list, the same shape as the harness datasets.
+func ioBenchBytes(tb testing.TB) []byte {
+	rng := rand.New(rand.NewSource(42))
+	n := 150_000
+	deg := 16
+	b := NewBuilder(true)
+	b.SetWeighted()
+	b.Reserve(n, n*deg)
+	for i := 0; i < n; i++ {
+		b.AddVertex(VertexID(i))
+	}
+	for e := 0; e < n*deg; e++ {
+		f := rng.Float64()
+		s := int32(f * f * float64(n))
+		d := int32(rng.Intn(n))
+		if s == d {
+			d = (d + 1) % int32(n)
+		}
+		b.AddWeightedEdge(VertexID(s), VertexID(d), 1+rng.Float64()*99)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, b.Build()); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkReadEdgeList(b *testing.B) {
+	data := ioBenchBytes(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := ParseEdgeList(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumVertices() != 150_000 {
+			b.Fatal("bad parse")
+		}
+	}
+}
+
+// BenchmarkReadEdgeListRef is the PR 2 baseline: the sequential
+// scanner/Fields/Builder reader the chunked loader replaced.
+func BenchmarkReadEdgeListRef(b *testing.B) {
+	data := ioBenchBytes(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := readEdgeListRef(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumVertices() != 150_000 {
+			b.Fatal("bad parse")
+		}
+	}
+}
+
+func BenchmarkWriteEdgeList(b *testing.B) {
+	data := ioBenchBytes(b)
+	g, err := ParseEdgeList(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		buf.Grow(len(data))
+		if err := WriteEdgeList(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package partition
 
 import (
 	"math/bits"
+	"sort"
 	"sync/atomic"
 
 	"aap/internal/par"
@@ -65,17 +66,64 @@ func (p *Partitioned) computeBorders() {
 		p.sweepBorders(vb[w], vb[w+1], arena, words, set)
 	})
 
-	// Compact each fragment's bitsets into the sorted border slices and
-	// assign F.O copy slots; one fragment per task.
+	// Popcount pass: per-fragment border sizes. The scan is uniform
+	// (every fragment owns the same 4·words), so fragment-strided
+	// parallelism is already balanced here.
+	cnts := make([]int, kinds*p.M)
 	parFrags(p.M, func(i int) {
-		f := p.Frags[i]
-		f.In = collectBits(bitset(i, kIn))
-		f.OutPrime = collectBits(bitset(i, kOutPrime))
-		f.Out = collectBits(bitset(i, kOut))
-		f.InPrime = collectBits(bitset(i, kInPrime))
-		base := int32(f.NumOwned())
-		for s, v := range f.Out {
-			f.slot[v] = base + int32(s)
+		for k := 0; k < kinds; k++ {
+			c := 0
+			for _, w := range bitset(i, k) {
+				c += bits.OnesCount64(w)
+			}
+			cnts[i*kinds+k] = c
+		}
+	})
+
+	// Compact each fragment's bitsets into the sorted border slices and
+	// build its copy-slot table. Compaction cost is dominated by the
+	// border sizes, not the fragment count, so fragments are scheduled
+	// largest-first from a shared counter: a single huge-F.O straggler
+	// starts immediately while the small fragments pack around it,
+	// instead of serializing whatever a fragment-strided split queued
+	// behind it.
+	weight := make([]int, p.M)
+	order := make([]int, p.M)
+	for i := range order {
+		weight[i] = cnts[i*kinds] + cnts[i*kinds+1] + cnts[i*kinds+2] + cnts[i*kinds+3]
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if wa, wb := weight[order[a]], weight[order[b]]; wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	cprocs := par.Procs(int64(p.M), 1)
+	if cprocs > p.M {
+		cprocs = p.M
+	}
+	var nextFrag atomic.Int32
+	par.Do(cprocs, func(int) {
+		for {
+			oi := int(nextFrag.Add(1)) - 1
+			if oi >= p.M {
+				return
+			}
+			i := order[oi]
+			f := p.Frags[i]
+			f.In = collectBitsN(bitset(i, kIn), cnts[i*kinds+kIn])
+			f.OutPrime = collectBitsN(bitset(i, kOutPrime), cnts[i*kinds+kOutPrime])
+			f.Out = collectBitsN(bitset(i, kOut), cnts[i*kinds+kOut])
+			f.InPrime = collectBitsN(bitset(i, kInPrime), cnts[i*kinds+kInPrime])
+			base := int32(f.NumOwned())
+			if f.slot != nil {
+				for s, v := range f.Out {
+					f.slot[v] = base + int32(s)
+				}
+			} else {
+				f.copySlots = newFlatSlots(f.Out, base)
+			}
 		}
 	})
 
@@ -140,12 +188,10 @@ func setBitAtomic(ws []uint64, v int32) {
 	}
 }
 
-// collectBits compacts a bitset into the ascending slice of set indexes.
-func collectBits(ws []uint64) []int32 {
-	cnt := 0
-	for _, w := range ws {
-		cnt += bits.OnesCount64(w)
-	}
+// collectBitsN compacts a bitset into the ascending slice of set
+// indexes; cnt is the bitset's popcount, already known from the sizing
+// pass, so compaction never rescans what was counted.
+func collectBitsN(ws []uint64, cnt int) []int32 {
 	if cnt == 0 {
 		return nil
 	}

@@ -6,71 +6,105 @@ import (
 	"aap/internal/gen"
 )
 
+// forceSlotTables pins the slot-table representation for the duration
+// of a test: hybrid (arithmetic + compact copy table, the default) or
+// the dense per-fragment arrays kept behind DenseSlotTables.
+func forceSlotTables(t *testing.T, dense bool) {
+	t.Helper()
+	prev := DenseSlotTables
+	DenseSlotTables = dense
+	t.Cleanup(func() { DenseSlotTables = prev })
+}
+
 // TestDenseTablesMatchReference verifies, on partitioned random graphs
-// across strategies and fragment counts, that the dense owner and slot
-// tables agree with the reference lookups they replaced: binary search
-// over Ranges for Owner, and the F.O map reconstructed from each
-// fragment's border set for Slot/OutSlot.
+// across strategies, fragment counts, and both slot-table
+// representations, that Owner/Slot/OutSlot agree with the reference
+// lookups they replaced: binary search over Ranges for Owner, and the
+// F.O map reconstructed from each fragment's border set for
+// Slot/OutSlot.
 func TestDenseTablesMatchReference(t *testing.T) {
-	graphs := []struct {
-		name string
-		gen  func() *Partitioned
-	}{}
-	for _, m := range []int{1, 3, 8} {
-		for _, s := range []Strategy{Hash{}, Range{}, BFSLocality{Seed: 5}, Skewed{Ratio: 4, Seed: 5}} {
-			m, s := m, s
-			graphs = append(graphs, struct {
-				name string
-				gen  func() *Partitioned
-			}{
-				name: s.Name(),
-				gen: func() *Partitioned {
-					g := gen.Random(500, 3000, false, 11)
-					p, err := Build(g, m, s)
-					if err != nil {
-						t.Fatal(err)
+	for _, dense := range []bool{false, true} {
+		forceSlotTables(t, dense)
+		tag := "hybrid"
+		if dense {
+			tag = "dense"
+		}
+		for _, m := range []int{1, 3, 8} {
+			for _, s := range []Strategy{Hash{}, Range{}, BFSLocality{Seed: 5}, Skewed{Ratio: 4, Seed: 5}} {
+				g := gen.Random(500, 3000, false, 11)
+				p, err := Build(g, m, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dense != (p.Frags[0].slot != nil) {
+					t.Fatalf("%s/%s/m=%d: dense table presence = %v, want %v",
+						tag, s.Name(), m, p.Frags[0].slot != nil, dense)
+				}
+				n := int32(p.G.NumVertices())
+				// Out-of-range ids included: Owner must mirror the binary
+				// search exactly, even for synthetic routing keys.
+				for v := int32(-3); v < n+3; v++ {
+					if got, want := p.Owner(v), p.ownerSearch(v); got != want {
+						t.Fatalf("%s/%s/m=%d: Owner(%d) = %d, search says %d", tag, s.Name(), m, v, got, want)
 					}
-					return p
-				},
-			})
+				}
+				for _, f := range p.Frags {
+					// Reference slot map: owned range then F.O copies in order.
+					ref := make(map[int32]int32)
+					for v := f.Lo; v < f.Hi; v++ {
+						ref[v] = v - f.Lo
+					}
+					base := int32(f.NumOwned())
+					for s, v := range f.Out {
+						ref[v] = base + int32(s)
+					}
+					// Synthetic ids well outside the vertex range resolve
+					// to -1 on both representations.
+					for v := int32(-3); v < n+3; v++ {
+						want, ok := ref[v]
+						if !ok {
+							want = -1
+						}
+						if got := f.Slot(v); got != want {
+							t.Fatalf("%s/%s/m=%d: frag %d Slot(%d) = %d, want %d", tag, s.Name(), m, f.ID, v, got, want)
+						}
+						wantOut := int32(-1)
+						if !f.Owns(v) && want >= 0 {
+							wantOut = want - base
+						}
+						if got := f.OutSlot(v); got != wantOut {
+							t.Fatalf("%s/%s/m=%d: frag %d OutSlot(%d) = %d, want %d", tag, s.Name(), m, f.ID, v, got, wantOut)
+						}
+					}
+				}
+			}
 		}
 	}
-	for _, tc := range graphs {
-		p := tc.gen()
-		n := int32(p.G.NumVertices())
-		// Out-of-range ids included: Owner must mirror the binary search
-		// exactly, even for synthetic routing keys.
-		for v := int32(-3); v < n+3; v++ {
-			if got, want := p.Owner(v), p.ownerSearch(v); got != want {
-				t.Fatalf("%s/m=%d: Owner(%d) = %d, search says %d", tc.name, p.M, v, got, want)
-			}
-		}
-		for _, f := range p.Frags {
-			// Reference slot map: owned range then F.O copies in order.
-			ref := make(map[int32]int32)
-			for v := f.Lo; v < f.Hi; v++ {
-				ref[v] = v - f.Lo
-			}
-			base := int32(f.NumOwned())
-			for s, v := range f.Out {
-				ref[v] = base + int32(s)
-			}
-			for v := int32(0); v < n; v++ {
-				want, ok := ref[v]
-				if !ok {
-					want = -1
-				}
-				if got := f.Slot(v); got != want {
-					t.Fatalf("%s/m=%d: frag %d Slot(%d) = %d, want %d", tc.name, p.M, f.ID, v, got, want)
-				}
-				wantOut := int32(-1)
-				if !f.Owns(v) && want >= 0 {
-					wantOut = want - base
-				}
-				if got := f.OutSlot(v); got != wantOut {
-					t.Fatalf("%s/m=%d: frag %d OutSlot(%d) = %d, want %d", tc.name, p.M, f.ID, v, got, wantOut)
-				}
-			}
-		}
+}
+
+// TestRoutingTableBytesHybridShrinks pins the memory claim: on a
+// locality partition the hybrid representation must be far smaller than
+// the dense arrays, and both must report a consistent accounting.
+func TestRoutingTableBytesHybridShrinks(t *testing.T) {
+	g := gen.Grid(100, 100, 3)
+	forceSlotTables(t, false)
+	hp, err := Build(g, 16, BFSLocality{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceSlotTables(t, true)
+	dp, err := Build(g, 16, BFSLocality{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, db := hp.SlotTableBytes(), dp.SlotTableBytes()
+	if hb <= 0 || db <= 0 {
+		t.Fatalf("non-positive accounting: hybrid %d dense %d", hb, db)
+	}
+	if hb*4 > db {
+		t.Fatalf("hybrid slot tables %d bytes, dense %d bytes: expected ≥ 4x shrink on a locality partition", hb, db)
+	}
+	if hp.RoutingTableBytes() <= hb || dp.RoutingTableBytes() <= db {
+		t.Fatal("RoutingTableBytes must include owner and holder structures on top of the slot tables")
 	}
 }

@@ -2,6 +2,8 @@ package partition_test
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"aap/internal/graph"
@@ -72,6 +74,44 @@ func BenchmarkIngestEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g := bld.Build()
 		p, err := partition.Build(g, 16, partition.Hash{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.M != 16 {
+			b.Fatal("bad partition")
+		}
+	}
+}
+
+// BenchmarkFileToFragments is the full ingest path the streaming loader
+// targets: file bytes through the chunked parallel parse, sharded
+// intern, CSR build, and the partition pipeline, to engine-ready
+// fragments.
+func BenchmarkFileToFragments(b *testing.B) {
+	g := benchGraph(150_000, 16)
+	path := filepath.Join(b.TempDir(), "bench.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g2, err := graph.ReadEdgeListFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := partition.Build(g2, 16, partition.Hash{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -46,11 +46,13 @@ type Fragment struct {
 	Out      []int32
 	InPrime  []int32
 
-	// slot is the dense global→local routing table: slot[v] is the local
-	// slot of global vertex v, or -1 when v is neither owned nor an F.O
-	// copy. One array load replaces the former map lookup on the
-	// per-relaxation hot path.
-	slot []int32
+	// Slot routing is hybrid by default: owned vertices map
+	// arithmetically (v - Lo) and the F.O copy set resolves through
+	// copySlots, a compact open-addressed table (slots.go). slot is the
+	// dense length-n alternative, built only under DenseSlotTables;
+	// when present it covers owned vertices and copies alike.
+	copySlots flatSlots
+	slot      []int32
 
 	p *Partitioned
 }
@@ -81,12 +83,20 @@ func (f *Fragment) Slots() int { return f.NumOwned() + len(f.Out) }
 // Slot maps global vertex v to its dense local slot: owned vertices map
 // to [0, NumOwned) and F.O copies to [NumOwned, Slots). It returns -1
 // when v is neither owned nor a copy, including synthetic ids outside
-// the graph's vertex range (SendTo's arbitrary routing).
+// the graph's vertex range (SendTo's arbitrary routing). Owned vertices
+// resolve with two compares, copies with one probe of the compact
+// table — or, under DenseSlotTables, one load from the dense array.
 func (f *Fragment) Slot(v int32) int32 {
-	if v < 0 || int(v) >= len(f.slot) {
-		return -1
+	if v >= f.Lo && v < f.Hi {
+		return v - f.Lo
 	}
-	return f.slot[v]
+	if f.slot != nil {
+		if v < 0 || int(v) >= len(f.slot) {
+			return -1
+		}
+		return f.slot[v]
+	}
+	return f.copySlots.get(v)
 }
 
 // Graph returns the renumbered global graph the fragment views.
@@ -147,11 +157,11 @@ func (p *Partitioned) Owner(v int32) int {
 	return int(p.owner[v])
 }
 
-// The dense owner and per-fragment slot tables trade memory for O(1)
-// lookups: total routing-table footprint is O(n·m). That is the right
-// trade for the synthetic datasets this repo runs today; at
-// billion-edge scale the per-fragment tables should become hybrid
-// (arithmetic for the owned range, dense only over the copy set).
+// Routing lookups stay O(1) at O(n + Σ|F.O|) memory: the owner table
+// is one dense length-n array shared by the partition, and per-fragment
+// slots are hybrid (arithmetic owned range + compact copy table, see
+// slots.go). The former O(n·m) dense slot arrays survive behind
+// DenseSlotTables.
 
 // ownerSearch is the reference O(log m) owner lookup the dense table
 // replaced; kept for the differential test.
@@ -229,18 +239,21 @@ func Build(g *graph.Graph, m int, s Strategy) (*Partitioned, error) {
 	for i := 0; i < m; i++ {
 		p.Frags[i] = &Fragment{ID: i, Lo: ranges[i], Hi: ranges[i+1], p: p}
 	}
-	// The per-fragment slot tables are m dense arrays of length n; fill
-	// them in parallel, one fragment per task.
-	parFrags(p.M, func(i int) {
-		f := p.Frags[i]
-		f.slot = make([]int32, n)
-		for v := range f.slot {
-			f.slot[v] = -1
-		}
-		for v := f.Lo; v < f.Hi; v++ {
-			f.slot[v] = v - f.Lo
-		}
-	})
+	// Hybrid slot routing needs no per-fragment prefill — the owned
+	// range is arithmetic and the copy tables are built from the border
+	// sets. Only the dense fallback materializes m length-n arrays.
+	if DenseSlotTables {
+		parFrags(p.M, func(i int) {
+			f := p.Frags[i]
+			f.slot = make([]int32, n)
+			for v := range f.slot {
+				f.slot[v] = -1
+			}
+			for v := f.Lo; v < f.Hi; v++ {
+				f.slot[v] = v - f.Lo
+			}
+		})
+	}
 	p.computeBorders()
 	return p, nil
 }
