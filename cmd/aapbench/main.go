@@ -91,16 +91,17 @@ func parseInts(s string) ([]int, error) {
 
 func run(exp string, workers []int, tableWorkers int, input string) error {
 	experiments := map[string]func() (string, error){
-		"table1": func() (string, error) { return harness.Table1(tableWorkers) },
-		"fig1":   harness.Fig1,
-		"ingest": func() (string, error) { return harness.Ingest(input) },
-		"fig6i":  func() (string, error) { return harness.Fig6ScaleUp("sssp", workers) },
-		"fig6j":  func() (string, error) { return harness.Fig6ScaleUp("pagerank", workers) },
-		"fig6k":  func() (string, error) { return harness.Fig6k(tableWorkers, []float64{1, 3, 5, 7, 9}) },
-		"fig6l":  func() (string, error) { return harness.Fig6l(workers) },
-		"fig7":   harness.Fig7,
-		"exp2":   func() (string, error) { return harness.Exp2Comm(tableWorkers) },
-		"cfcase": harness.CFCase,
+		"table1":  func() (string, error) { return harness.Table1(tableWorkers) },
+		"fig1":    harness.Fig1,
+		"ingest":  func() (string, error) { return harness.Ingest(input) },
+		"compute": harness.Compute,
+		"fig6i":   func() (string, error) { return harness.Fig6ScaleUp("sssp", workers) },
+		"fig6j":   func() (string, error) { return harness.Fig6ScaleUp("pagerank", workers) },
+		"fig6k":   func() (string, error) { return harness.Fig6k(tableWorkers, []float64{1, 3, 5, 7, 9}) },
+		"fig6l":   func() (string, error) { return harness.Fig6l(workers) },
+		"fig7":    harness.Fig7,
+		"exp2":    func() (string, error) { return harness.Exp2Comm(tableWorkers) },
+		"cfcase":  harness.CFCase,
 	}
 	for _, p := range harness.Fig6Panels() {
 		p := p
@@ -112,7 +113,7 @@ func run(exp string, workers []int, tableWorkers int, input string) error {
 		names = []string{
 			"table1", "fig1",
 			"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h",
-			"fig6i", "fig6j", "fig6k", "fig6l", "exp2", "fig7", "cfcase", "ingest",
+			"fig6i", "fig6j", "fig6k", "fig6l", "exp2", "fig7", "cfcase", "ingest", "compute",
 		}
 	}
 	for _, name := range names {

@@ -3,20 +3,58 @@
 // root carrying the minimum external vertex id as cid; IncEval merges
 // components across fragments by propagating smaller cids with min as
 // f_aggr. The input is treated as its underlying undirected graph.
+//
+// Two kernels implement the semantics: the retained sequential
+// union-find (cc_ref.go) and the parallel hook-and-shortcut label
+// propagation in this file — every slot carries a label, edge hooks
+// lower the larger endpoint's label with an exact atomic min, and a
+// pointer-jumping pass compresses label chains between hook rounds, so
+// local components settle in O(log n) rounds instead of O(diameter).
+// Both kernels converge to the canonical labeling (minimum member),
+// which is why they are bit-identical under the differential tests.
 package cc
 
 import (
+	"sync/atomic"
+
 	"aap/internal/core"
 	"aap/internal/graph"
+	"aap/internal/par"
 	"aap/internal/partition"
 )
 
 // Job builds the CC PIE job. Every vertex ends with the minimum external
-// id of its connected component as its cid.
+// id of its connected component as its cid. Fragments big enough to
+// shard run the parallel label-propagation kernel; small ones keep the
+// sequential union-find.
 func Job() core.Job[int64] {
+	return JobShards(0)
+}
+
+// JobShards builds the CC job with a forced kernel shard count:
+// shards >= 1 runs the parallel kernel with exactly that many shards
+// (1 exercises it single-threaded), 0 picks automatically.
+func JobShards(shards int) core.Job[int64] {
+	return core.Job[int64]{
+		Name: "cc",
+		New: func(f *partition.Fragment) core.Program[int64] {
+			g := f.Graph()
+			if shards == 0 && par.Kernel(g.OutSpan(f.Lo, f.Hi)) <= 1 {
+				return newRefProgram(f)
+			}
+			return newProgram(f, shards)
+		},
+		Aggregate: func(a, b int64) int64 { return min64(a, b) },
+		Bytes:     func(int64) int { return 8 },
+	}
+}
+
+// RefJob builds the job over the retained union-find kernel only — the
+// pinned oracle of the differential tests.
+func RefJob() core.Job[int64] {
 	return core.Job[int64]{
 		Name:      "cc",
-		New:       func(f *partition.Fragment) core.Program[int64] { return newProgram(f) },
+		New:       func(f *partition.Fragment) core.Program[int64] { return newRefProgram(f) },
 		Aggregate: func(a, b int64) int64 { return min64(a, b) },
 		Bytes:     func(int64) int { return 8 },
 	}
@@ -29,132 +67,255 @@ func min64(a, b int64) int64 {
 	return b
 }
 
-// program keeps the local component forest: a union-find over local slots
-// whose roots carry the component's cid (the paper's root nodes v_c),
-// plus the precomputed list of F.O copies per root used to propagate cid
-// decreases outward.
+// program is the parallel kernel. After PEval converges, comp[s] is the
+// minimum local slot of s's component (fully compressed: comp is
+// constant and comp[comp[s]] == comp[s]), cid[r] carries the minimum
+// external id of root r's component, and copiesOf links each root to
+// its F.O copies for outward propagation.
 type program struct {
-	f *partition.Fragment
-	g *graph.Graph
+	f      *partition.Fragment
+	g      *graph.Graph
+	shards int // forced kernel shard count; 0 = auto
 
-	parent []int32 // union-find over local slots
-	cid    []int64 // per root: minimum external id seen
-
-	// copiesOf lists, for each root slot, the F.O copies linked to it;
-	// the local forest is fixed after PEval (no new local edges appear),
-	// so the lists are computed once.
+	comp     []atomic.Int32 // slot -> component label (min slot)
+	cid      []atomic.Int64 // root slot -> min external id
 	copiesOf [][]int32
 
-	// changedRoots/rootChanged are the reusable scratch IncEval uses to
-	// dedup lowered roots, replacing a per-round map.
-	changedRoots []int32
-	rootChanged  []bool
+	// changed is the worklist of roots lowered by one IncEval: sharded
+	// dedup'd staging, drained sorted so the downstream message order is
+	// canonical regardless of shard count.
+	changed *par.Frontier
+
+	ownedSlots []int32 // reusable [0, NumOwned) item list for chunking
+	bounds     []int
+	rounds     int
 }
 
-func newProgram(f *partition.Fragment) *program {
+func newProgram(f *partition.Fragment, shards int) *program {
 	n := f.Slots()
-	p := &program{f: f, g: f.Graph(),
-		parent:      make([]int32, n),
-		cid:         make([]int64, n),
-		rootChanged: make([]bool, n),
-	}
-	for i := range p.parent {
-		p.parent[i] = int32(i)
+	p := &program{f: f, g: f.Graph(), shards: shards,
+		comp:    make([]atomic.Int32, n),
+		cid:     make([]atomic.Int64, n),
+		changed: par.NewFrontier(n, max(shards, 1)),
 	}
 	return p
 }
 
-func (p *program) find(s int32) int32 {
-	for p.parent[s] != s {
-		p.parent[s] = p.parent[p.parent[s]]
-		s = p.parent[s]
+// KernelRounds reports hook+shortcut rounds executed by PEval.
+func (p *program) KernelRounds() int { return p.rounds }
+
+// kernelShards resolves the shard count for `work` units this round.
+func (p *program) kernelShards(work int64) int {
+	if p.shards > 0 {
+		return p.shards
 	}
-	return s
+	return par.Kernel(work)
 }
 
-func (p *program) union(a, b int32) {
-	ra, rb := p.find(a), p.find(b)
-	if ra != rb {
-		p.parent[ra] = rb
-	}
-}
-
-// PEval computes local components over the edges of owned vertices (both
-// directions, underlying undirected graph), assigns each root the minimum
-// external id, and ships the cids of F.O copies to their owners.
+// PEval finds local components by parallel hook-and-shortcut label
+// propagation, assigns root cids, and ships the cids of F.O copies to
+// their owners.
 func (p *program) PEval(ctx *core.Context[int64]) {
 	f := p.f
-	for v := f.Lo; v < f.Hi; v++ {
-		vs := f.Slot(v)
-		for _, u := range p.g.Out(v) {
-			if us := f.Slot(u); us >= 0 {
-				p.union(vs, us)
-			}
-		}
-		for _, u := range p.g.In(v) {
-			if us := f.Slot(u); us >= 0 {
-				p.union(vs, us)
-			}
-		}
-		ctx.AddWork(p.g.OutDegree(v) + p.g.InDegree(v))
+	n := f.Slots()
+	owned := f.NumOwned()
+	for s := range p.comp {
+		p.comp[s].Store(int32(s))
 	}
-	// Root cids: the minimum external id over the component's members.
+
+	// Owned-vertex item list chunked by local degree: the hook rounds
+	// sweep each owned row's out- and in-edges.
+	p.ownedSlots = p.ownedSlots[:0]
+	for s := 0; s < owned; s++ {
+		p.ownedSlots = append(p.ownedSlots, int32(s))
+	}
+	deg := func(s int32) int64 {
+		v := f.Lo + s
+		return int64(p.g.OutDegree(v)+p.g.InDegree(v)) + 1
+	}
+	var span int64
+	for _, s := range p.ownedSlots {
+		span += deg(s)
+	}
+	k := p.kernelShards(span)
+	p.bounds = par.ChunksByWork(p.ownedSlots, k, p.bounds, deg)
+
+	var work int64
+	for {
+		p.rounds++
+		var hooked atomic.Bool
+		par.Do(k, func(w int) {
+			ch := false
+			for _, s := range p.ownedSlots[p.bounds[w]:p.bounds[w+1]] {
+				v := f.Lo + s
+				for _, u := range p.g.Out(v) {
+					ch = p.hook(s, u) || ch
+				}
+				for _, u := range p.g.In(v) {
+					ch = p.hook(s, u) || ch
+				}
+			}
+			if ch {
+				hooked.Store(true)
+			}
+		})
+		// Shortcut: compress label chains by pointer jumping. Each slot
+		// is written by its range owner only; cross-range reads go
+		// through the atomics.
+		var jumped atomic.Bool
+		par.Do(k, func(w int) {
+			ch := false
+			for s := w * n / k; s < (w+1)*n/k; s++ {
+				for {
+					c := p.comp[s].Load()
+					cc := p.comp[c].Load()
+					if cc >= c {
+						break
+					}
+					p.comp[s].Store(cc)
+					ch = true
+				}
+			}
+			if ch {
+				jumped.Store(true)
+			}
+		})
+		work += span
+		if !hooked.Load() && !jumped.Load() {
+			break
+		}
+	}
+	ctx.AddWork(int(work))
+
+	// Root cids: the minimum external id over the component's members
+	// (owned vertices and F.O copies alike), via the exact atomic min.
 	for i := range p.cid {
-		p.cid[i] = int64(1) << 62
+		p.cid[i].Store(int64(1) << 62)
 	}
-	assign := func(v int32) {
-		s := f.Slot(v)
-		r := p.find(s)
-		if id := int64(p.g.IDOf(v)); id < p.cid[r] {
-			p.cid[r] = id
+	par.Do(k, func(w int) {
+		for s := w * n / k; s < (w+1)*n/k; s++ {
+			var v int32
+			if s < owned {
+				v = f.Lo + int32(s)
+			} else {
+				v = f.Out[s-owned]
+			}
+			par.MinInt64(&p.cid[p.comp[s].Load()], int64(p.g.IDOf(v)))
 		}
-	}
-	for v := f.Lo; v < f.Hi; v++ {
-		assign(v)
-	}
+	})
+
+	// Link copies to their roots once and for all (sequential: the
+	// copiesOf list order is the deterministic f.Out order).
+	p.copiesOf = make([][]int32, n)
 	for _, v := range f.Out {
-		assign(v)
-	}
-	// Link copies to their roots once and for all.
-	p.copiesOf = make([][]int32, f.Slots())
-	for _, v := range f.Out {
-		r := p.find(f.Slot(v))
+		r := p.comp[f.Slot(v)].Load()
 		p.copiesOf[r] = append(p.copiesOf[r], v)
 	}
-	for _, v := range f.Out {
-		ctx.Send(v, p.cid[p.find(f.Slot(v))])
-	}
+	p.sendCopies(ctx, k)
 }
 
-// IncEval lowers root cids from the aggregated messages and propagates
-// every decrease to the owners of the copies linked to the changed roots
-// — the bounded incremental step of Figure 3.
-func (p *program) IncEval(msgs []core.VMsg[int64], ctx *core.Context[int64]) {
-	for _, m := range msgs {
-		slot := p.f.Slot(m.V)
-		if slot < 0 {
-			continue
+// hook lowers the label of the larger endpoint of edge (owned slot s,
+// neighbor u) to the smaller endpoint's label; copies hook too, since
+// sequential PEval unions across every local edge of an owned row.
+func (p *program) hook(s int32, u int32) bool {
+	us := p.f.Slot(u)
+	if us < 0 {
+		return false
+	}
+	a := p.comp[s].Load()
+	b := p.comp[us].Load()
+	switch {
+	case a < b:
+		return par.MinInt32(&p.comp[us], a)
+	case b < a:
+		return par.MinInt32(&p.comp[s], b)
+	}
+	return false
+}
+
+// sendCopies ships every F.O copy's current root cid, staged across
+// shards in f.Out order.
+func (p *program) sendCopies(ctx *core.Context[int64], k int) {
+	nOut := len(p.f.Out)
+	if nOut == 0 {
+		return
+	}
+	if k <= 1 {
+		for _, v := range p.f.Out {
+			ctx.Send(v, p.cid[p.comp[p.f.Slot(v)].Load()].Load())
 		}
-		r := p.find(slot)
-		if m.Val < p.cid[r] {
-			p.cid[r] = m.Val
-			if !p.rootChanged[r] {
-				p.rootChanged[r] = true
-				p.changedRoots = append(p.changedRoots, r)
+		return
+	}
+	stages := ctx.Stages(k)
+	par.Do(k, func(w int) {
+		st := stages[w]
+		for i := w * nOut / k; i < (w+1)*nOut/k; i++ {
+			v := p.f.Out[i]
+			st.Send(v, p.cid[p.comp[p.f.Slot(v)].Load()].Load())
+		}
+	})
+	ctx.MergeStages()
+}
+
+// IncEval lowers root cids from the aggregated messages in parallel and
+// propagates every decrease to the owners of the copies linked to the
+// changed roots — the bounded incremental step of Figure 3.
+func (p *program) IncEval(msgs []core.VMsg[int64], ctx *core.Context[int64]) {
+	k := p.kernelShards(int64(len(msgs)))
+	p.changed.EnsureShards(k)
+	par.Do(k, func(w int) {
+		lo, hi := w*len(msgs)/k, (w+1)*len(msgs)/k
+		for _, m := range msgs[lo:hi] {
+			slot := p.f.Slot(m.V)
+			if slot < 0 {
+				continue
+			}
+			r := p.comp[slot].Load()
+			if par.MinInt64(&p.cid[r], m.Val) {
+				p.changed.Add(w, r)
 			}
 		}
-	}
+	})
 	ctx.AddWork(len(msgs))
-	for _, r := range p.changedRoots {
-		p.rootChanged[r] = false
-		copies := p.copiesOf[r]
-		ctx.AddWork(len(copies))
-		for _, v := range copies {
-			ctx.Send(v, p.cid[r])
-		}
+
+	// Drain sorted so the downstream message order is canonical
+	// regardless of shard count.
+	roots := p.changed.Advance(true)
+	if len(roots) == 0 {
+		return
 	}
-	p.changedRoots = p.changedRoots[:0]
+
+	copies := func(r int32) int64 { return int64(len(p.copiesOf[r])) + 1 }
+	var span int64
+	for _, r := range roots {
+		span += copies(r)
+	}
+	kk := p.kernelShards(span)
+	p.bounds = par.ChunksByWork(roots, kk, p.bounds, copies)
+	if kk <= 1 {
+		for _, r := range roots {
+			ctx.AddWork(len(p.copiesOf[r]))
+			for _, v := range p.copiesOf[r] {
+				ctx.Send(v, p.cid[r].Load())
+			}
+		}
+		return
+	}
+	stages := ctx.Stages(kk)
+	par.Do(kk, func(w int) {
+		st := stages[w]
+		for _, r := range roots[p.bounds[w]:p.bounds[w+1]] {
+			st.AddWork(len(p.copiesOf[r]))
+			val := p.cid[r].Load()
+			for _, v := range p.copiesOf[r] {
+				st.Send(v, val)
+			}
+		}
+	})
+	ctx.MergeStages()
 }
 
 // Get returns the cid of owned vertex v.
-func (p *program) Get(v int32) int64 { return p.cid[p.find(p.f.Slot(v))] }
+func (p *program) Get(v int32) int64 {
+	return p.cid[p.comp[p.f.Slot(v)].Load()].Load()
+}

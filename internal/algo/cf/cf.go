@@ -13,6 +13,7 @@ import (
 	"aap/internal/algo/ref"
 	"aap/internal/core"
 	"aap/internal/graph"
+	"aap/internal/par"
 	"aap/internal/partition"
 )
 
@@ -51,6 +52,12 @@ type Config struct {
 	// than Tol between rounds.
 	Tol  float64
 	Seed int64
+	// Shards forces the kernel shard count used to build and stage the
+	// per-copy product contributions in ship: >= 1 forces that many
+	// shards (1 keeps the sequential path), 0 picks automatically. SGD
+	// epochs themselves stay sequential — reordering rating updates
+	// would change the trained model.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -231,24 +238,47 @@ func (p *program) epoch(ctx *core.Context[Val]) {
 }
 
 // ship sends copy contributions to product owners and canonical vectors
-// from owners to copy holders.
+// from owners to copy holders. Building the weight-scaled vectors is the
+// allocation-heavy half (one Rank-wide vector per border product per
+// round), so it fans out across kernel shards with staged sends; the
+// contiguous chunking keeps each destination's message order identical
+// to the sequential pass.
 func (p *program) ship(ctx *core.Context[Val]) {
 	if p.converged && p.epochs >= p.cfg.Epochs {
 		return
 	}
 	ts := ctx.Round()
 	base := int32(p.f.NumOwned())
-	for i, v := range p.f.Out {
+	nOut := len(p.f.Out)
+	k := p.cfg.Shards
+	if k == 0 {
+		k = par.Kernel(int64(nOut) * int64(p.cfg.Rank))
+	}
+	sendCopy := func(send func(v int32, val Val), i int) {
+		v := p.f.Out[i]
 		s := base + int32(i)
 		w := p.weight[s]
 		if w == 0 || p.factor[s] == nil {
-			continue
+			return
 		}
 		vec := make([]float64, p.cfg.Rank)
 		for k := range vec {
 			vec[k] = p.factor[s][k] * w
 		}
-		ctx.Send(v, Val{Vec: vec, Weight: w, TS: ts})
+		send(v, Val{Vec: vec, Weight: w, TS: ts})
+	}
+	if k <= 1 {
+		for i := range p.f.Out {
+			sendCopy(ctx.Send, i)
+		}
+	} else {
+		stages := ctx.Stages(k)
+		par.Do(k, func(w int) {
+			for i := w * nOut / k; i < (w+1)*nOut/k; i++ {
+				sendCopy(stages[w].Send, i)
+			}
+		})
+		ctx.MergeStages()
 	}
 	// Owned products with remote copies broadcast their canonical value.
 	for _, v := range p.f.In {

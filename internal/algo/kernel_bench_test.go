@@ -1,0 +1,66 @@
+package algo_test
+
+// Kernel benchmarks: PEval-to-local-fixpoint on one fragment, the
+// per-round scaling axis of BENCH_PR4. Shard rows beyond the core count
+// measure fan-out overhead, not speedup.
+
+import (
+	"fmt"
+	"testing"
+
+	"aap/internal/algo/cc"
+	"aap/internal/algo/pagerank"
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/gen"
+	"aap/internal/graph"
+	"aap/internal/partition"
+)
+
+func benchFragment(b *testing.B, g *graph.Graph) *partition.Partitioned {
+	b.Helper()
+	p, err := partition.Build(g, 1, partition.Hash{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func benchKernel[T any](b *testing.B, p *partition.Partitioned, job core.Job[T]) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog := job.New(p.Frags[0])
+		ctx := core.NewEngineContext[T](p.Frags[0], 1)
+		prog.PEval(ctx)
+		ctx.TakeOut()
+	}
+}
+
+func BenchmarkKernelSSSP(b *testing.B) {
+	g := gen.PowerLaw(40000, 8, 2.1, true, 5)
+	p := benchFragment(b, g)
+	b.Run("ref", func(b *testing.B) { benchKernel(b, p, sssp.RefJob(0)) })
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) { benchKernel(b, p, sssp.JobShards(0, k)) })
+	}
+}
+
+func BenchmarkKernelCC(b *testing.B) {
+	g := graph.AsUndirected(gen.PowerLaw(40000, 8, 2.1, false, 5))
+	p := benchFragment(b, g)
+	b.Run("ref", func(b *testing.B) { benchKernel(b, p, cc.RefJob()) })
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) { benchKernel(b, p, cc.JobShards(k)) })
+	}
+}
+
+func BenchmarkKernelPageRank(b *testing.B) {
+	g := gen.PowerLaw(40000, 8, 2.1, false, 5)
+	p := benchFragment(b, g)
+	b.Run("ref", func(b *testing.B) { benchKernel(b, p, pagerank.RefJob(pagerank.Config{Tol: 1e-4})) })
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			benchKernel(b, p, pagerank.Job(pagerank.Config{Tol: 1e-4, Shards: k}))
+		})
+	}
+}

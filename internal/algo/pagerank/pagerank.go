@@ -5,11 +5,23 @@
 // aggregate function over the deltas shipped to border vertices. The
 // fixpoint P_v = Σ_paths p(v) + (1-d) is order-independent, so PageRank
 // needs no bounded staleness (Church-Rosser holds under T1-T3).
+//
+// The kernel is round-based and deterministic by construction, because
+// floating-point sums remember their addition order: each round consumes
+// the frontier (owned slots whose pending delta crossed Tol) in sorted
+// slot order and applies the pushed shares in that same canonical order.
+// The parallel kernel shards the sweep into contiguous frontier chunks
+// and stages each chunk's shares into per-(source-shard, dest-shard)
+// buckets; the apply phase walks every destination shard's buckets in
+// source-shard order, which replays the exact per-slot addition sequence
+// of the sequential reference — bit-identical results at any shard
+// count.
 package pagerank
 
 import (
 	"aap/internal/core"
 	"aap/internal/graph"
+	"aap/internal/par"
 	"aap/internal/partition"
 )
 
@@ -21,6 +33,11 @@ type Config struct {
 	// parked instead of propagated; 1e-6 when zero. The total parked
 	// residual bounds the L1 error of the fixpoint.
 	Tol float64
+	// Shards forces the kernel shard count: >= 1 runs the parallel
+	// kernel with exactly that many shards (1 exercises it
+	// single-threaded), 0 picks automatically — parallel when the
+	// fragment has enough edges, the sequential reference otherwise.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -37,15 +54,34 @@ func (c Config) withDefaults() Config {
 func Job(cfg Config) core.Job[float64] {
 	cfg = cfg.withDefaults()
 	return core.Job[float64]{
-		Name:      "pagerank",
-		New:       func(f *partition.Fragment) core.Program[float64] { return newProgram(f, cfg) },
+		Name: "pagerank",
+		New: func(f *partition.Fragment) core.Program[float64] {
+			if cfg.Shards == 0 && par.Kernel(f.Graph().OutSpan(f.Lo, f.Hi)) <= 1 {
+				return newRefProgram(f, cfg)
+			}
+			return newProgram(f, cfg)
+		},
 		Aggregate: func(a, b float64) float64 { return a + b },
 		Bytes:     func(float64) int { return 8 },
 	}
 }
 
-// program holds per-slot scores and pending deltas. Copies (F.O slots)
-// only accumulate deltas destined for other fragments.
+// RefJob builds the job over the sequential reference kernel only — the
+// pinned oracle of the differential tests.
+func RefJob(cfg Config) core.Job[float64] {
+	cfg = cfg.withDefaults()
+	return core.Job[float64]{
+		Name:      "pagerank",
+		New:       func(f *partition.Fragment) core.Program[float64] { return newRefProgram(f, cfg) },
+		Aggregate: func(a, b float64) float64 { return a + b },
+		Bytes:     func(float64) int { return 8 },
+	}
+}
+
+// program is the parallel kernel. score and delta are plain slices:
+// every phase partitions its writes (frontier chunks own their consumed
+// slots, destination shards own their slot ranges) and par.Do's barrier
+// orders the phases, so no atomics are needed on the accumulators.
 type program struct {
 	f   *partition.Fragment
 	g   *graph.Graph
@@ -53,8 +89,16 @@ type program struct {
 
 	score []float64
 	delta []float64
-	queue []int32 // slots of owned vertices with pending delta above Tol
-	inQ   []bool
+
+	// fr is the worklist of owned slots admitted above Tol: admissions
+	// stage per shard, and the sorted Advance at each round start makes
+	// the consume order canonical for any shard count.
+	fr      *par.Frontier
+	buckets [][]contrib // (source shard × dest shard) share staging
+	xs      []float64   // consumed pending mass for the 1-shard path
+	bounds  []int
+	work    []int64
+	rounds  int
 }
 
 func newProgram(f *partition.Fragment, cfg Config) *program {
@@ -63,81 +107,193 @@ func newProgram(f *partition.Fragment, cfg Config) *program {
 		f: f, g: f.Graph(), cfg: cfg,
 		score: make([]float64, n),
 		delta: make([]float64, n),
-		inQ:   make([]bool, n),
+		fr:    par.NewFrontier(f.NumOwned(), 1),
 	}
 }
 
-// PEval seeds every owned vertex with the teleport mass 1-d and runs the
-// local push loop; accumulated copy deltas are shipped to their owners.
+// KernelRounds reports frontier rounds executed so far.
+func (p *program) KernelRounds() int { return p.rounds }
+
+// PEval seeds every owned vertex with the teleport mass 1-d, runs rounds
+// to the local fixpoint, and ships accumulated copy deltas.
 func (p *program) PEval(ctx *core.Context[float64]) {
 	seed := 1 - p.cfg.Damping
-	for v := p.f.Lo; v < p.f.Hi; v++ {
-		p.add(v, seed)
+	for s := int32(0); s < int32(p.f.NumOwned()); s++ {
+		p.add(s, seed)
 	}
-	p.push(ctx)
+	p.run(ctx)
 	p.flush(ctx)
 }
 
-// IncEval folds incoming delta sums into owned vertices and resumes the
-// push loop.
+// IncEval folds incoming delta sums into owned vertices (sequentially —
+// the folded message list is small and already in canonical vertex
+// order) and resumes the rounds.
 func (p *program) IncEval(msgs []core.VMsg[float64], ctx *core.Context[float64]) {
 	for _, m := range msgs {
-		p.add(m.V, m.Val)
+		if s := p.f.Slot(m.V); s >= 0 {
+			p.add(s, m.Val)
+		}
 	}
-	p.push(ctx)
+	p.run(ctx)
 	p.flush(ctx)
 }
 
-// Get returns the score of owned vertex v including its parked residual,
-// which tightens the result by the sub-threshold mass.
+// Get returns the score of owned vertex v including its parked residual.
 func (p *program) Get(v int32) float64 {
 	s := p.f.Slot(v)
 	return p.score[s] + p.delta[s]
 }
 
-// add accumulates a delta on a local vertex and enqueues owned vertices
-// whose pending mass crosses the propagation threshold. Owned vertices
-// occupy slots [0, NumOwned), so the queue stores slots and push maps
-// them back to v = Lo + slot without another lookup.
-func (p *program) add(v int32, d float64) {
-	s := p.f.Slot(v)
-	if s < 0 {
-		return
-	}
+// add accumulates a delta on local slot s from the owning goroutine and
+// admits owned slots crossing Tol to the frontier's shard-0 staging
+// list (sequential callers only).
+func (p *program) add(s int32, d float64) {
 	p.delta[s] += d
-	if s < int32(p.f.NumOwned()) && !p.inQ[s] && p.delta[s] > p.cfg.Tol {
-		p.inQ[s] = true
-		p.queue = append(p.queue, s)
+	if s < int32(p.f.NumOwned()) && p.delta[s] > p.cfg.Tol {
+		p.fr.Add(0, s)
 	}
 }
 
-// push drains the local queue: each pending delta is folded into the
-// score and d*x/N is pushed along out-edges; pushes to copies accumulate
-// for the next flush. The queue is FIFO so that deltas coalesce on a
-// vertex while it waits, keeping the number of pushes near-linear even at
-// tight tolerances.
-func (p *program) push(ctx *core.Context[float64]) {
-	for head := 0; head < len(p.queue); head++ {
-		s := p.queue[head]
-		v := p.f.Lo + s
-		p.inQ[s] = false
-		x := p.delta[s]
-		if x <= p.cfg.Tol {
+// kernelShards resolves the shard count for `work` units this round.
+func (p *program) kernelShards(work int64) int {
+	if p.cfg.Shards > 0 {
+		return p.cfg.Shards
+	}
+	return par.Kernel(work)
+}
+
+// run executes rounds until the frontier drains. Each round has two
+// barrier-separated parallel phases:
+//
+//	sweep  — frontier chunk w consumes its slots in order (score += x,
+//	         delta = 0) and stages each pushed share into bucket (w, d)
+//	         where d = ⌊slot·k/n⌋ keys the destination shard;
+//	apply  — destination shard d applies buckets (0,d), (1,d), …, (k-1,d)
+//	         sequentially, so the additions landing on any slot replay
+//	         the frontier-order sequence of the sequential reference.
+//
+// Advancing the frontier resets its dedup set before any slot is
+// consumed, which is equivalent to the reference's unmark-at-consume:
+// admissions only ever happen in the apply half, after every
+// current-frontier slot has been consumed.
+func (p *program) run(ctx *core.Context[float64]) {
+	n := len(p.delta)
+	owned := int32(p.f.NumOwned())
+	for {
+		frontier := p.fr.Advance(true) // sorted: canonical for any shard count
+		if len(frontier) == 0 {
+			return
+		}
+		p.rounds++
+
+		deg := func(s int32) int64 { return int64(p.g.OutDegree(p.f.Lo+s)) + 1 }
+		var span int64
+		for _, s := range frontier {
+			span += deg(s)
+		}
+		k := p.kernelShards(span)
+		if k <= 1 {
+			// Single-shard rounds push directly, two passes in frontier
+			// order — the reference discipline, no bucket staging.
+			p.runSeqRound(frontier, ctx)
 			continue
 		}
+		p.fr.EnsureShards(k)
+		p.bounds = par.ChunksByWork(frontier, k, p.bounds, deg)
+		for len(p.buckets) < k*k {
+			p.buckets = append(p.buckets, nil)
+		}
+		if cap(p.work) < k {
+			p.work = make([]int64, k)
+		}
+		work := p.work[:k]
+
+		// Sweep phase: chunk w writes only its consumed slots and its
+		// own bucket row.
+		par.Do(k, func(w int) {
+			var units int64
+			row := p.buckets[w*k : w*k+k]
+			for d := range row {
+				row[d] = row[d][:0]
+			}
+			for _, s := range frontier[p.bounds[w]:p.bounds[w+1]] {
+				x := p.delta[s]
+				p.delta[s] = 0
+				p.score[s] += x
+				v := p.f.Lo + s
+				out := p.g.Out(v)
+				units += int64(len(out)) + 1
+				if len(out) == 0 {
+					continue
+				}
+				share := p.cfg.Damping * x / float64(len(out))
+				for _, u := range out {
+					if us := p.f.Slot(u); us >= 0 {
+						d := int(us) * k / n
+						row[d] = append(row[d], contrib{slot: us, val: share})
+					}
+				}
+			}
+			work[w] = units
+		})
+		var units int64
+		for _, u := range work {
+			units += u
+		}
+		ctx.AddWork(int(units))
+
+		// Apply phase: all contributions for a slot land in the single
+		// bucket column d = ⌊slot·k/n⌋, so shard d is the only writer of
+		// that slot — that keying, not a contiguous range split, is the
+		// write-disjointness invariant. Walking the column in source
+		// order replays the sequential addition sequence.
+		par.Do(k, func(d int) {
+			for w := 0; w < k; w++ {
+				for _, c := range p.buckets[w*k+d] {
+					p.delta[c.slot] += c.val
+					if c.slot < owned && p.delta[c.slot] > p.cfg.Tol {
+						p.fr.Add(d, c.slot)
+					}
+				}
+			}
+		})
+	}
+}
+
+// runSeqRound consumes the sorted frontier and pushes its shares
+// directly in frontier order — bit-identical to the staged two-phase
+// round at any shard count, without the bucket traffic.
+func (p *program) runSeqRound(frontier []int32, ctx *core.Context[float64]) {
+	owned := int32(p.f.NumOwned())
+	xs := p.xs[:0]
+	for _, s := range frontier {
+		x := p.delta[s]
 		p.delta[s] = 0
 		p.score[s] += x
+		xs = append(xs, x)
+	}
+	p.xs = xs
+	var work int64
+	for i, s := range frontier {
+		v := p.f.Lo + s
 		out := p.g.Out(v)
-		ctx.AddWork(len(out) + 1)
+		work += int64(len(out)) + 1
 		if len(out) == 0 {
 			continue
 		}
-		share := p.cfg.Damping * x / float64(len(out))
+		share := p.cfg.Damping * xs[i] / float64(len(out))
 		for _, u := range out {
-			p.add(u, share)
+			us := p.f.Slot(u)
+			if us < 0 {
+				continue
+			}
+			p.delta[us] += share
+			if us < owned && p.delta[us] > p.cfg.Tol {
+				p.fr.Add(0, us)
+			}
 		}
 	}
-	p.queue = p.queue[:0]
+	ctx.AddWork(int(work))
 }
 
 // flush ships the accumulated copy deltas to their owners and resets

@@ -1,14 +1,27 @@
 // Package sssp is the PIE program for single-source shortest paths
-// (Section 5.1 of the paper): Dijkstra's algorithm as PEval and the
-// Ramalingam-Reps style incremental shortest-path algorithm as IncEval,
-// with min as the aggregate function over distance update parameters.
+// (Section 5.1 of the paper). Two kernels implement the same PEval /
+// IncEval semantics:
+//
+//   - the retained sequential reference (sssp_ref.go): Dijkstra as PEval
+//     and Ramalingam-Reps incremental relaxation as IncEval;
+//   - the frontier-parallel kernel (this file): a sharded worklist of
+//     improved vertices swept in parallel over the CSR rows, relaxing
+//     with an exact atomic float-min.
+//
+// The two are bit-identical by construction: with positive weights every
+// candidate distance is the left-to-right sum along one path, extending
+// a path never lowers its sum, and min over that candidate set is exact
+// — so the fixpoint is unique and independent of relaxation order. The
+// differential tests in internal/algo pin this at forced shard counts.
 package sssp
 
 import (
 	"math"
+	"sync/atomic"
 
 	"aap/internal/core"
 	"aap/internal/graph"
+	"aap/internal/par"
 	"aap/internal/partition"
 )
 
@@ -16,12 +29,27 @@ import (
 var Inf = math.Inf(1)
 
 // Job builds the SSSP PIE job for the given source (an external vertex
-// id). Edge weights must be positive; unweighted edges count as 1.
+// id). Edge weights must be positive; unweighted edges count as 1. Each
+// fragment picks its kernel by size: fragments with enough edges to
+// shard run the frontier-parallel kernel, small ones keep the
+// work-optimal sequential Dijkstra.
 func Job(source graph.VertexID) core.Job[float64] {
+	return JobShards(source, 0)
+}
+
+// JobShards builds the SSSP job with a forced kernel shard count:
+// shards >= 1 runs the frontier-parallel kernel with exactly that many
+// shards per round (1 exercises the sweep single-threaded), 0 picks
+// automatically. The differential tests and the compute-scaling
+// benchmark force the axis through here.
+func JobShards(source graph.VertexID, shards int) core.Job[float64] {
 	return core.Job[float64]{
 		Name: "sssp",
 		New: func(f *partition.Fragment) core.Program[float64] {
-			return newProgram(f, source)
+			if shards == 0 && par.Kernel(f.Graph().OutSpan(f.Lo, f.Hi)) <= 1 {
+				return newRefProgram(f, source)
+			}
+			return newProgram(f, source, shards)
 		},
 		Aggregate: math.Min,
 		Bytes:     func(float64) int { return 8 },
@@ -29,163 +57,194 @@ func Job(source graph.VertexID) core.Job[float64] {
 	}
 }
 
-// program holds the per-fragment state: one distance per local slot
-// (owned vertices then F.O copies), a priority queue reused across
-// rounds, and a copy-slot bitmap that dedups border flushes without a
-// per-round map.
+// RefJob builds the job over the retained sequential kernel only — the
+// pinned oracle of the differential tests.
+func RefJob(source graph.VertexID) core.Job[float64] {
+	return core.Job[float64]{
+		Name: "sssp",
+		New: func(f *partition.Fragment) core.Program[float64] {
+			return newRefProgram(f, source)
+		},
+		Aggregate: math.Min,
+		Bytes:     func(float64) int { return 8 },
+		Default:   func(int32) float64 { return Inf },
+	}
+}
+
+// program is the frontier-parallel kernel: distances live in atomic
+// float bits, improved owned slots feed a sharded frontier, and each
+// round sweeps the frontier's out-edges across kernel shards balanced by
+// edge count. Improved F.O copies are recorded in a concurrent mark set
+// and flushed once per engine round.
 type program struct {
 	f      *partition.Fragment
 	g      *graph.Graph
 	source graph.VertexID
-	dist   []float64
-	pq     distHeap
-	// changedCopies records F.O copies improved in the current round, so
-	// flushBorder ships only decreased values (the paper's "v.cid
-	// decreased" message-segment analogue). copyChanged mirrors it as a
-	// bitmap over copy slots so each copy is recorded at most once.
-	changedCopies []int32
-	copyChanged   []bool
+	shards int // forced kernel shard count; 0 = auto per round
+
+	dist        []atomic.Uint64 // float64 bits per local slot
+	fr          *par.Frontier   // owned slots to re-expand
+	copyChanged *par.Marks      // F.O copies improved since last flush
+
+	bounds []int   // reusable chunk-boundary scratch
+	edges  []int64 // per-shard edge counts for work accounting
+	rounds int     // kernel (frontier) rounds executed
 }
 
-func newProgram(f *partition.Fragment, source graph.VertexID) *program {
-	p := &program{f: f, g: f.Graph(), source: source}
-	p.dist = make([]float64, f.Slots())
+func newProgram(f *partition.Fragment, source graph.VertexID, shards int) *program {
+	p := &program{f: f, g: f.Graph(), source: source, shards: shards}
+	p.dist = make([]atomic.Uint64, f.Slots())
+	inf := math.Float64bits(Inf)
 	for i := range p.dist {
-		p.dist[i] = Inf
+		p.dist[i].Store(inf)
 	}
-	p.copyChanged = make([]bool, len(f.Out))
+	p.fr = par.NewFrontier(f.NumOwned(), max(shards, 1))
+	p.copyChanged = par.NewMarks(len(f.Out))
 	return p
 }
 
-// PEval runs Dijkstra from the source if it is owned; fragments not
-// owning the source have nothing to do until messages arrive.
+// KernelRounds reports the frontier rounds executed so far (the
+// per-round scaling axis of aapbench -exp compute).
+func (p *program) KernelRounds() int { return p.rounds }
+
+// PEval seeds the source if owned and sweeps to the local fixpoint.
 func (p *program) PEval(ctx *core.Context[float64]) {
 	s, ok := p.g.IndexOf(p.source)
 	if !ok || !p.f.Owns(s) {
 		return
 	}
-	p.relax(s, 0)
-	p.dijkstra(ctx)
+	p.dist[s-p.f.Lo].Store(math.Float64bits(0))
+	p.fr.Add(0, s-p.f.Lo)
+	p.sweep(ctx)
 	p.flushBorder(ctx)
 }
 
-// IncEval resumes Dijkstra from the owned vertices whose distance the
-// aggregated messages improved; the cost is bounded by the size of the
-// affected area, the bounded-incremental property of [Ramalingam-Reps].
+// IncEval lowers distances from the aggregated messages, re-seeds the
+// frontier with the improved owned vertices, and resumes the sweep.
 func (p *program) IncEval(msgs []core.VMsg[float64], ctx *core.Context[float64]) {
 	for _, m := range msgs {
 		slot := p.f.Slot(m.V)
 		if slot < 0 {
 			continue
 		}
-		if m.Val < p.dist[slot] {
-			p.dist[slot] = m.Val
+		if m.Val < math.Float64frombits(p.dist[slot].Load()) {
+			p.dist[slot].Store(math.Float64bits(m.Val))
 			if p.f.Owns(m.V) {
-				p.pq.push(distItem{v: m.V, d: m.Val})
+				p.fr.Add(0, slot)
 			}
 		}
 	}
-	p.dijkstra(ctx)
+	p.sweep(ctx)
 	p.flushBorder(ctx)
 }
 
 // Get returns the current distance of owned vertex v.
-func (p *program) Get(v int32) float64 { return p.dist[p.f.Slot(v)] }
+func (p *program) Get(v int32) float64 {
+	return math.Float64frombits(p.dist[p.f.Slot(v)].Load())
+}
 
-// relax lowers the distance of a local vertex; returns true if improved.
-func (p *program) relax(v int32, d float64) bool {
-	slot := p.f.Slot(v)
-	if slot < 0 || d >= p.dist[slot] {
-		return false
+// kernelShards resolves the shard count for `work` units this round.
+func (p *program) kernelShards(work int64) int {
+	if p.shards > 0 {
+		return p.shards
 	}
-	p.dist[slot] = d
+	return par.Kernel(work)
+}
+
+// sweep runs frontier rounds to the local fixpoint: each round expands
+// the current frontier's out-edges in parallel, relaxing with the exact
+// atomic min; newly improved owned slots stage the next frontier,
+// improved copies mark the flush set.
+func (p *program) sweep(ctx *core.Context[float64]) {
 	owned := int32(p.f.NumOwned())
-	if slot < owned {
-		p.pq.push(distItem{v: v, d: d})
-	} else if cs := slot - owned; !p.copyChanged[cs] {
-		p.copyChanged[cs] = true
-		p.changedCopies = append(p.changedCopies, v)
-	}
-	return true
-}
-
-func (p *program) dijkstra(ctx *core.Context[float64]) {
-	for p.pq.len() > 0 {
-		it := p.pq.pop()
-		slot := p.f.Slot(it.v)
-		if it.d > p.dist[slot] {
-			continue
-		}
-		ws := p.g.OutWeights(it.v)
-		out := p.g.Out(it.v)
-		ctx.AddWork(len(out))
-		for i, u := range out {
-			w := 1.0
-			if ws != nil {
-				w = ws[i]
-			}
-			p.relax(u, it.d+w)
-		}
-	}
-}
-
-// flushBorder sends improved copy distances to their owners. The bitmap
-// already dedups entries at relax time, so the flush is a single pass.
-func (p *program) flushBorder(ctx *core.Context[float64]) {
-	owned := int32(p.f.NumOwned())
-	for _, v := range p.changedCopies {
-		slot := p.f.Slot(v)
-		p.copyChanged[slot-owned] = false
-		ctx.Send(v, p.dist[slot])
-	}
-	p.changedCopies = p.changedCopies[:0]
-}
-
-type distItem struct {
-	v int32
-	d float64
-}
-
-// distHeap is a monomorphic binary min-heap on distance. Unlike
-// container/heap it never boxes items through interface{}, so pushes on
-// the relaxation hot path do not allocate.
-type distHeap struct{ items []distItem }
-
-func (h *distHeap) len() int { return len(h.items) }
-
-func (h *distHeap) push(it distItem) {
-	h.items = append(h.items, it)
-	i := len(h.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h.items[parent].d <= h.items[i].d {
-			break
-		}
-		h.items[parent], h.items[i] = h.items[i], h.items[parent]
-		i = parent
-	}
-}
-
-func (h *distHeap) pop() distItem {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items = h.items[:last]
-	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < last && h.items[l].d < h.items[small].d {
-			small = l
+		items := p.fr.Advance(false)
+		if len(items) == 0 {
+			return
 		}
-		if r < last && h.items[r].d < h.items[small].d {
-			small = r
+		p.rounds++
+		deg := func(s int32) int64 { return int64(p.g.OutDegree(p.f.Lo+s)) + 1 }
+		var span int64
+		for _, s := range items {
+			span += deg(s)
 		}
-		if small == i {
-			break
+		k := p.kernelShards(span)
+		p.fr.EnsureShards(k)
+		p.bounds = par.ChunksByWork(items, k, p.bounds, deg)
+		if cap(p.edges) < k {
+			p.edges = make([]int64, k)
 		}
-		h.items[i], h.items[small] = h.items[small], h.items[i]
-		i = small
+		edges := p.edges[:k]
+		par.Do(k, func(w int) {
+			var scanned int64
+			for _, s := range items[p.bounds[w]:p.bounds[w+1]] {
+				v := p.f.Lo + s
+				d := math.Float64frombits(p.dist[s].Load())
+				wts := p.g.OutWeights(v)
+				out := p.g.Out(v)
+				scanned += int64(len(out))
+				for i, u := range out {
+					wt := 1.0
+					if wts != nil {
+						wt = wts[i]
+					}
+					p.relax(u, d+wt, w, owned)
+				}
+			}
+			edges[w] = scanned
+		})
+		var total int64
+		for _, n := range edges {
+			total += n
+		}
+		ctx.AddWork(int(total))
 	}
-	return top
+}
+
+// relax lowers u's distance to nd if it improves, staging owned slots on
+// shard w's frontier list and marking improved copies for the flush.
+func (p *program) relax(u int32, nd float64, w int, owned int32) {
+	slot := p.f.Slot(u)
+	if slot < 0 {
+		return
+	}
+	if !par.MinFloat64Bits(&p.dist[slot], nd) {
+		return
+	}
+	if slot < owned {
+		p.fr.Add(w, slot)
+	} else {
+		p.copyChanged.TryMark(slot - owned)
+	}
+}
+
+// flushBorder ships the distances of copies improved since the last
+// flush, staged across kernel shards and merged in copy-slot order so
+// the per-destination message order matches a sequential pass.
+func (p *program) flushBorder(ctx *core.Context[float64]) {
+	nOut := len(p.f.Out)
+	if nOut == 0 {
+		return
+	}
+	owned := int32(p.f.NumOwned())
+	k := p.kernelShards(int64(nOut))
+	if k <= 1 {
+		for i, v := range p.f.Out {
+			if p.copyChanged.Marked(int32(i)) {
+				ctx.Send(v, math.Float64frombits(p.dist[owned+int32(i)].Load()))
+			}
+		}
+	} else {
+		stages := ctx.Stages(k)
+		par.Do(k, func(w int) {
+			st := stages[w]
+			for i := w * nOut / k; i < (w+1)*nOut/k; i++ {
+				if p.copyChanged.Marked(int32(i)) {
+					st.Send(p.f.Out[i], math.Float64frombits(p.dist[owned+int32(i)].Load()))
+				}
+			}
+		})
+		ctx.MergeStages()
+	}
+	p.copyChanged.Reset()
 }

@@ -91,13 +91,21 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 		}
 		w.inbox.notify = make(chan struct{}, 1)
 		w.progress = make(chan struct{}, 1)
+		w.flushCh = make(chan [][]VMsg[T], 1)
+		w.spareCh = make(chan [][]VMsg[T], 2)
+		w.frng = rand.New(rand.NewSource(opts.Seed + int64(i)*7919 + 104729))
 		e.workers[i] = w
 	}
 
 	start := time.Now()
-	var wg sync.WaitGroup
+	var wg, fwg sync.WaitGroup
 	wg.Add(p.M)
+	fwg.Add(p.M)
 	for _, w := range e.workers {
+		go func(w *worker[T]) {
+			defer fwg.Done()
+			w.flusher()
+		}(w)
 		go func(w *worker[T]) {
 			defer wg.Done()
 			w.run()
@@ -113,6 +121,7 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 	}
 	close(e.done)
 	wg.Wait()
+	fwg.Wait() // flushers own BytesSent; join before reading stats
 	if err := e.err(); err != nil {
 		return nil, err
 	}
@@ -183,9 +192,10 @@ func (e *engine[T]) avgRoundTime() float64 {
 
 // deliver ships a message batch from worker `from` to worker `to`,
 // optionally after the configured latency; jitter is drawn by the caller
-// so each worker uses its own random stream.
+// so each flusher uses its own random stream. The batch was already
+// counted as sent by the worker at flush handoff, which is what keeps
+// the termination check sound while delivery runs in the background.
 func (e *engine[T]) deliver(from, to int, msgs []VMsg[T], extra time.Duration) {
-	e.coord.addSent(int64(len(msgs)))
 	put := func() { e.workers[to].inbox.put(batch[T]{from: int32(from), msgs: msgs}) }
 	d := e.opts.Latency + extra
 	if d > 0 {
@@ -351,6 +361,41 @@ func (e *engine[T]) broadcastProgress() {
 	}
 }
 
+// flusher is the per-worker delivery goroutine: it prices and ships the
+// batches of a finished round while the worker computes the next one.
+// Only the flusher touches stats.BytesSent; Run joins the flushers
+// before reading stats.
+func (w *worker[T]) flusher() {
+	e := w.eng
+	for {
+		select {
+		case out := <-w.flushCh:
+			var bytes int64
+			for j, msgs := range out {
+				if len(msgs) == 0 {
+					continue
+				}
+				for _, m := range msgs {
+					bytes += int64(e.job.valueBytes(m.Val))
+				}
+				var extra time.Duration
+				if e.opts.Jitter > 0 {
+					extra = time.Duration(w.frng.Int63n(int64(e.opts.Jitter)))
+				}
+				e.deliver(w.id, j, msgs, extra)
+			}
+			w.stats.BytesSent += bytes
+			clear(out)
+			select {
+			case w.spareCh <- out:
+			default:
+			}
+		case <-w.eng.done:
+			return
+		}
+	}
+}
+
 // worker is one virtual worker P_i.
 type worker[T any] struct {
 	id     int
@@ -378,6 +423,15 @@ type worker[T any] struct {
 	timer *time.Timer
 
 	rng *rand.Rand
+
+	// flushCh hands a finished round's outgoing batches to the worker's
+	// flusher goroutine, overlapping delivery (byte accounting, jitter,
+	// inbox puts) with the next round's compute. spareCh returns the
+	// drained outer array for reuse. frng is the flusher's own jitter
+	// stream so the two goroutines never share a rand.Rand.
+	flushCh chan [][]VMsg[T]
+	spareCh chan [][]VMsg[T]
+	frng    *rand.Rand
 
 	stats         WorkerStats
 	rounds        int32
@@ -413,8 +467,22 @@ func (w *worker[T]) run() {
 			// Double-check the inbox after flagging inactive; a message
 			// may have landed in between (its notify token persists, so
 			// the wait below returns immediately in that case).
-			if r := w.wait(Forever); r == wakeDone {
-				return
+			//
+			// Only a message (or shutdown) reactivates an inactive
+			// worker: its buffer is empty, so progress broadcasts cannot
+			// create work for it. Flipping active on every broadcast
+			// would also re-broadcast from setActive, and with delivery
+			// running on the flusher goroutines those echo waves can
+			// rotate through the workers indefinitely, keeping activeN
+			// above zero at every termination check.
+			stay := true
+			for stay {
+				switch w.wait(Forever) {
+				case wakeDone:
+					return
+				case wakeMsg:
+					stay = false
+				}
 			}
 			w.setActive(true)
 			continue
@@ -551,6 +619,14 @@ func (w *worker[T]) execRound(peval bool) {
 	case <-e.done:
 		return
 	}
+	// Reclaim an outer array the flusher finished with; if the previous
+	// flush is still running the context allocates a fresh one (rare —
+	// it means compute fully overlapped the flush).
+	select {
+	case sp := <-w.spareCh:
+		w.ctx.ReleaseOut(sp)
+	default:
+	}
 	t0 := time.Now()
 	w.ctx.round = w.rounds
 	if peval {
@@ -576,23 +652,28 @@ func (w *worker[T]) execRound(peval bool) {
 	atomic.StoreUint64(&e.roundTimes[w.id], math.Float64bits(w.roundTimeEWMA))
 	out, work := w.ctx.takeOut()
 	w.stats.Work += work
-	for j, msgs := range out {
-		if len(msgs) == 0 {
-			continue
-		}
-		var bytes int64
-		for _, m := range msgs {
-			bytes += int64(e.job.valueBytes(m.Val))
-		}
-		w.stats.MsgsSent += int64(len(msgs))
-		w.stats.BytesSent += bytes
-		var extra time.Duration
-		if e.opts.Jitter > 0 {
-			extra = time.Duration(w.rng.Int63n(int64(e.opts.Jitter)))
-		}
-		e.deliver(w.id, j, msgs, extra)
+	var total int64
+	for _, msgs := range out {
+		total += int64(len(msgs))
 	}
-	w.ctx.ReleaseOut(out)
+	if total == 0 {
+		w.ctx.ReleaseOut(out)
+	} else {
+		// Count the messages as sent *before* handing them to the
+		// flusher: the worker may flag itself inactive while delivery is
+		// still in flight, and the termination check (all inactive ∧
+		// sent == consumed) only stays sound if undelivered messages
+		// keep sent ahead of consumed.
+		w.stats.MsgsSent += total
+		e.coord.addSent(total)
+		select {
+		case w.flushCh <- out:
+		case <-e.done:
+			// Run over (failure/timeout): the batches are never
+			// delivered, and the pre-counted sent total cannot matter —
+			// done has already fired.
+		}
+	}
 	w.rounds = e.coord.roundDone(w.id)
 	w.stats.Rounds = w.rounds
 	w.lastRoundEnd = time.Now()

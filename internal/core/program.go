@@ -121,6 +121,10 @@ type Context[T any] struct {
 	out   [][]VMsg[T]
 	spare [][]VMsg[T]
 
+	// stages are the per-goroutine send buffers of parallel kernels
+	// (stage.go), reused across rounds.
+	stages []*Stage[T]
+
 	pool *msgPool[T]
 }
 

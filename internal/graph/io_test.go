@@ -74,6 +74,25 @@ func TestReadEdgeListMatchesReferenceLarge(t *testing.T) {
 	}
 }
 
+// TestReadEdgeListMergeHighShards drives the tournament-tree merge
+// fan-in at shard counts well past the physical core count — wide
+// enough that the loser tree has several levels and padded (exhausted)
+// leaves — and at non-power-of-two widths. The id assignment must stay
+// the sequential Builder's first-appearance order exactly.
+func TestReadEdgeListMergeHighShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	g := randomBuilder(rng, true, false, 1200, 20000).buildRef()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{5, 16, 32} {
+		forceShards(t, procs)
+		got, gotErr, want, wantErr := parseBoth(buf.Bytes())
+		checkSameOutcome(t, tagOf("read-highshards", procs, 271), got, gotErr, want, wantErr)
+	}
+}
+
 // TestReadEdgeListHandcrafted pins the parsing corners one at a time:
 // CRLF, missing final newline, interleaved comments and blanks, v-lines,
 // mixed 2/3-field rows, the header-with-no-data quirk, tabs, signs, and

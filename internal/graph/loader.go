@@ -455,6 +455,71 @@ type shardAssign struct {
 	final []int32
 }
 
+// mergeAssign is the tournament-tree fan-in of the sharded dedup: it
+// merges the shards' first-appearance lists by their (chunk, position)
+// keys, writing each id's final internal id and the global id table in
+// merged order. Keys are unique ((chunk, position) pairs identify one
+// first appearance), so ties cannot arise and the merge is total.
+//
+// The tree is a classic loser tree: leaves are the shard heads padded to
+// a power of two with an exhausted sentinel, internal nodes hold the
+// loser of their subtree's match, and tree[0] holds the overall winner.
+// Popping the winner replays exactly one root-to-leaf path — O(log S)
+// comparisons — where the linear scan it replaces compared all S heads
+// per output id.
+func mergeAssign(assigns []shardAssign, ids []VertexID) {
+	shards := len(assigns)
+	width := 1
+	for width < shards {
+		width <<= 1
+	}
+	const exhausted = ^uint64(0)
+	heads := make([]int, width)
+	key := make([]uint64, width) // current key of each leaf
+	for s := range key {
+		if s < shards && len(assigns[s].keys) > 0 {
+			key[s] = assigns[s].keys[0]
+		} else {
+			key[s] = exhausted
+		}
+	}
+	tree := make([]int, width) // tree[1:] hold losers; tree[0] the winner
+	var build func(node int) int
+	build = func(node int) int {
+		if node >= width {
+			return node - width // leaf: shard index
+		}
+		l, r := build(2*node), build(2*node+1)
+		if key[l] <= key[r] {
+			tree[node] = r
+			return l
+		}
+		tree[node] = l
+		return r
+	}
+	tree[0] = build(1)
+
+	for i := range ids {
+		w := tree[0]
+		a := &assigns[w]
+		a.final[heads[w]] = int32(i)
+		ids[i] = a.ids[heads[w]]
+		heads[w]++
+		if heads[w] < len(a.keys) {
+			key[w] = a.keys[heads[w]]
+		} else {
+			key[w] = exhausted
+		}
+		// Replay the matches on w's root path; the smaller key survives.
+		for node := (width + w) / 2; node >= 1; node /= 2 {
+			if key[tree[node]] < key[w] {
+				tree[node], w = w, tree[node]
+			}
+		}
+		tree[0] = w
+	}
+}
+
 // ParseEdgeList parses an in-memory edge list with the chunked parallel
 // loader. See ReadEdgeList for the format.
 func ParseEdgeList(data []byte) (*Graph, error) {
@@ -566,30 +631,16 @@ func ParseEdgeList(data []byte) (*Graph, error) {
 
 	// Deterministic assignment: merging the shard lists by (chunk,
 	// position) restores the global first-appearance order — the exact
-	// internal-id order of a sequential Builder fed the same lines.
+	// internal-id order of a sequential Builder fed the same lines. The
+	// merge is a tournament (loser) tree over the shard heads: O(log S)
+	// comparisons per id instead of the former O(S) linear scan, which
+	// matters once the fan-out grows past a handful of shards.
 	n := 0
 	for s := range assigns {
 		n += len(assigns[s].ids)
 	}
 	ids := make([]VertexID, n)
-	heads := make([]int, shards)
-	for i := 0; i < n; i++ {
-		best := -1
-		var bestKey uint64
-		for s := range assigns {
-			hd := heads[s]
-			if hd >= len(assigns[s].ids) {
-				continue
-			}
-			if k := assigns[s].keys[hd]; best < 0 || k < bestKey {
-				best, bestKey = s, k
-			}
-		}
-		a := &assigns[best]
-		a.final[heads[best]] = int32(i)
-		ids[i] = a.ids[heads[best]]
-		heads[best]++
-	}
+	mergeAssign(assigns, ids)
 	par.Do(shards, func(s int) {
 		a := &assigns[s]
 		for i, id := range a.ids {

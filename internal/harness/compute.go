@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"aap/internal/algo/cc"
+	"aap/internal/algo/pagerank"
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/graph"
+	"aap/internal/partition"
+)
+
+// computeShardCounts is the kernel-shard axis of the compute experiment.
+var computeShardCounts = []int{1, 2, 4, 8}
+
+// roundsReporter is implemented by the compute-plane kernels: the
+// number of frontier rounds PEval ran to its local fixpoint, which
+// normalizes wall time and allocations to per-round figures.
+type roundsReporter interface{ KernelRounds() int }
+
+// runKernel executes one job's kernel to its local fixpoint on a
+// single-fragment partition and returns (seconds, rounds, allocations).
+func runKernel[T any](p *partition.Partitioned, job core.Job[T]) (float64, int, uint64) {
+	f := p.Frags[0]
+	prog := job.New(f)
+	ctx := core.NewEngineContext[T](f, 1)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	secs := timeIt(func() { prog.PEval(ctx) })
+	runtime.ReadMemStats(&m1)
+	ctx.TakeOut()
+	rounds := 1
+	if rr, ok := prog.(roundsReporter); ok {
+		rounds = max(rr.KernelRounds(), 1)
+	}
+	return secs, rounds, m1.Mallocs - m0.Mallocs
+}
+
+// Compute measures the intra-fragment parallel compute plane: each
+// kernel runs PEval to its local fixpoint on one fragment holding the
+// whole stand-in graph, at forced kernel shard counts 1/2/4/8, and the
+// report normalizes to ns/round and allocs/round. On a machine with
+// fewer cores than shards the extra rows measure fan-out overhead, not
+// speedup — the row to read is shards=cores. The sequential reference
+// kernel is included as the baseline row. cmd/aapbench exposes it as
+// -exp compute.
+func Compute() (string, error) {
+	ds := FriendsterSim(Scale())
+	und := graph.AsUndirected(ds.Graph)
+	p, err := partition.Build(ds.Graph, 1, partition.Hash{})
+	if err != nil {
+		return "", err
+	}
+	pu, err := partition.Build(und, 1, partition.Hash{})
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "frontier-parallel kernels on %s (n=%d, m=%d), one fragment, GOMAXPROCS=%d\n",
+		ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges(), runtime.GOMAXPROCS(0))
+	b.WriteString("(shard rows beyond the core count measure fan-out overhead, not speedup)\n")
+
+	type row struct {
+		name string
+		run  func(shards int) (float64, int, uint64)
+		ref  func() (float64, int, uint64)
+	}
+	rows := []row{
+		{
+			name: "sssp",
+			run:  func(k int) (float64, int, uint64) { return runKernel(p, sssp.JobShards(ds.Source, k)) },
+			ref:  func() (float64, int, uint64) { return runKernel(p, sssp.RefJob(ds.Source)) },
+		},
+		{
+			name: "cc",
+			run:  func(k int) (float64, int, uint64) { return runKernel(pu, cc.JobShards(k)) },
+			ref:  func() (float64, int, uint64) { return runKernel(pu, cc.RefJob()) },
+		},
+		{
+			name: "pagerank",
+			run: func(k int) (float64, int, uint64) {
+				return runKernel(p, pagerank.Job(pagerank.Config{Tol: 1e-4, Shards: k}))
+			},
+			ref: func() (float64, int, uint64) {
+				return runKernel(p, pagerank.RefJob(pagerank.Config{Tol: 1e-4}))
+			},
+		},
+	}
+	for _, r := range rows {
+		secs, rounds, allocs := r.ref()
+		fmt.Fprintf(&b, "%s:\n  %-10s %10.3fms total  %4d rounds  %12.0f ns/round  %8.1f allocs/round\n",
+			r.name, "seq ref", secs*1e3, rounds, secs*1e9/float64(rounds), float64(allocs)/float64(rounds))
+		for _, k := range computeShardCounts {
+			secs, rounds, allocs := r.run(k)
+			fmt.Fprintf(&b, "  shards=%-3d %10.3fms total  %4d rounds  %12.0f ns/round  %8.1f allocs/round\n",
+				k, secs*1e3, rounds, secs*1e9/float64(rounds), float64(allocs)/float64(rounds))
+		}
+	}
+	return b.String(), nil
+}

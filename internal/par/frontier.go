@@ -1,0 +1,227 @@
+// Frontier/worklist primitives for the intra-fragment parallel compute
+// plane: a sharded frontier with a generation-stamped dedup set, work-
+// balanced chunking of item lists for edge-range sweeps over CSR rows,
+// and the atomic-min hooks the kernels relax with.
+//
+// The contract every kernel built on these primitives relies on:
+//
+//   - Marks dedups concurrent Add calls, so a slot enters the next
+//     frontier at most once per round regardless of how many shards
+//     discover it.
+//   - Advance concatenates the per-shard staging lists in shard order,
+//     so for a fixed shard count the frontier sequence is deterministic;
+//     kernels that need shard-count independence sort the result.
+//   - The atomic mins are exact (they install one of their operands, no
+//     arithmetic), so min-fixpoint kernels (SSSP, CC) converge to the
+//     same bits under any interleaving.
+package par
+
+import (
+	"math"
+	"slices"
+	"sync/atomic"
+)
+
+// kernelGrainEdges is the per-shard work floor of an intra-fragment
+// kernel round: below it, goroutine fan-out costs more than the sweep.
+const kernelGrainEdges = 1 << 14
+
+// Kernel returns the shard count for an intra-fragment kernel pass over
+// `work` units (edges to scan, contributions to apply). It respects
+// Override like every other fan-out decision in the repository.
+func Kernel(work int64) int { return Procs(work, kernelGrainEdges) }
+
+// Marks is a generation-stamped membership set over [0, n): Reset clears
+// it in O(1) by bumping the generation, and TryMark is an atomic
+// test-and-set so concurrent markers agree on a single winner. It
+// replaces a per-round []bool + clear loop on kernel hot paths.
+type Marks struct {
+	gen []atomic.Uint32
+	cur uint32
+}
+
+// NewMarks returns an empty mark set over [0, n).
+func NewMarks(n int) *Marks {
+	return &Marks{gen: make([]atomic.Uint32, n), cur: 1}
+}
+
+// Len returns the domain size.
+func (m *Marks) Len() int { return len(m.gen) }
+
+// Reset unmarks everything in O(1). Not safe concurrently with the
+// other methods: call it between parallel phases.
+func (m *Marks) Reset() {
+	m.cur++
+	if m.cur == 0 { // generation wrapped: invalidate every stamp
+		for i := range m.gen {
+			m.gen[i].Store(0)
+		}
+		m.cur = 1
+	}
+}
+
+// TryMark marks i and reports whether this call was the first to do so
+// since the last Reset. Safe for concurrent use.
+func (m *Marks) TryMark(i int32) bool {
+	g := &m.gen[i]
+	for {
+		old := g.Load()
+		if old == m.cur {
+			return false
+		}
+		if g.CompareAndSwap(old, m.cur) {
+			return true
+		}
+	}
+}
+
+// Marked reports whether i is marked.
+func (m *Marks) Marked(i int32) bool { return m.gen[i].Load() == m.cur }
+
+// Unmark clears i. cur is always >= 1, so cur-1 is a valid "stale"
+// stamp.
+func (m *Marks) Unmark(i int32) { m.gen[i].Store(m.cur - 1) }
+
+// Frontier is a sharded worklist over dense int32 slots. During a round
+// the current frontier is read-only; shard w stages discoveries for the
+// next round through Add(w, ·), deduplicated by a Marks set, and Advance
+// splices the staging lists into the next current frontier in shard
+// order.
+type Frontier struct {
+	marks *Marks
+	cur   []int32
+	next  [][]int32
+}
+
+// NewFrontier returns a frontier over slots [0, n) with staging capacity
+// for up to `shards` concurrent producers.
+func NewFrontier(n, shards int) *Frontier {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Frontier{marks: NewMarks(n), next: make([][]int32, shards)}
+}
+
+// EnsureShards grows the staging array so shards [0, k) are valid
+// producers. Not safe concurrently with Add.
+func (f *Frontier) EnsureShards(k int) {
+	for len(f.next) < k {
+		f.next = append(f.next, nil)
+	}
+}
+
+// Add stages slot v for the next round on shard w's list and reports
+// whether v was newly staged. Concurrent calls with distinct w are safe;
+// the marks arbitrate duplicates across shards.
+func (f *Frontier) Add(w int, v int32) bool {
+	if !f.marks.TryMark(v) {
+		return false
+	}
+	f.next[w] = append(f.next[w], v)
+	return true
+}
+
+// Cur returns the current frontier. Read-only during a round.
+func (f *Frontier) Cur() []int32 { return f.cur }
+
+// Advance splices the staged shard lists into the current frontier in
+// shard order, clears the dedup set, and returns the new frontier. With
+// sorted=true the result is sorted ascending, making the frontier order
+// canonical (independent of the shard count that produced it) — the
+// ordering contract deterministic-sum kernels (PageRank) need. Not safe
+// concurrently with Add.
+func (f *Frontier) Advance(sorted bool) []int32 {
+	f.cur = f.cur[:0]
+	for w := range f.next {
+		f.cur = append(f.cur, f.next[w]...)
+		f.next[w] = f.next[w][:0]
+	}
+	if sorted {
+		slices.Sort(f.cur)
+	}
+	f.marks.Reset()
+	return f.cur
+}
+
+// ChunksByWork splits items into at most p contiguous chunks of
+// near-equal total weight and returns the chunk boundaries b
+// (b[0] = 0, b[len(b)-1] = len(items), len(b) = p+1; empty chunks are
+// possible under extreme skew). buf is reused when it has capacity, so
+// steady-state rounds plan their sweep without allocating. weight must
+// be non-negative.
+func ChunksByWork(items []int32, p int, buf []int, weight func(int32) int64) []int {
+	b := buf[:0]
+	b = append(b, 0)
+	if p < 1 {
+		p = 1
+	}
+	var total int64
+	for _, it := range items {
+		total += weight(it)
+	}
+	if p == 1 || total == 0 {
+		for len(b) < p+1 {
+			b = append(b, len(items))
+		}
+		return b
+	}
+	var cum int64
+	j := 1
+	for i, it := range items {
+		cum += weight(it)
+		// Place boundary j after item i once the running weight crosses
+		// j/p of the total; several boundaries may collapse onto one
+		// index when a single item dominates.
+		for j < p && cum*int64(p) >= total*int64(j) {
+			b = append(b, i+1)
+			j++
+		}
+	}
+	for len(b) < p+1 {
+		b = append(b, len(items))
+	}
+	return b
+}
+
+// MinInt64 atomically lowers *a to v and reports whether it decreased.
+func MinInt64(a *atomic.Int64, v int64) bool {
+	for {
+		old := a.Load()
+		if old <= v {
+			return false
+		}
+		if a.CompareAndSwap(old, v) {
+			return true
+		}
+	}
+}
+
+// MinInt32 atomically lowers *a to v and reports whether it decreased.
+func MinInt32(a *atomic.Int32, v int32) bool {
+	for {
+		old := a.Load()
+		if old <= v {
+			return false
+		}
+		if a.CompareAndSwap(old, v) {
+			return true
+		}
+	}
+}
+
+// MinFloat64Bits atomically lowers the float64 stored as bits in *a to
+// v and reports whether it decreased. The min is exact — it installs
+// v's bits, no arithmetic — so concurrent relaxations settle on the
+// same value any sequential order would.
+func MinFloat64Bits(a *atomic.Uint64, v float64) bool {
+	nb := math.Float64bits(v)
+	for {
+		ob := a.Load()
+		if math.Float64frombits(ob) <= v {
+			return false
+		}
+		if a.CompareAndSwap(ob, nb) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMarksDedupConcurrent: many goroutines racing TryMark on the same
+// slots must elect exactly one winner per slot per generation.
+func TestMarksDedupConcurrent(t *testing.T) {
+	const n, workers, trials = 256, 8, 50
+	m := NewMarks(n)
+	for trial := 0; trial < trials; trial++ {
+		var wins atomic.Int64
+		Do(workers, func(int) {
+			for v := int32(0); v < n; v++ {
+				if m.TryMark(v) {
+					wins.Add(1)
+				}
+			}
+		})
+		if wins.Load() != n {
+			t.Fatalf("trial %d: %d wins, want %d", trial, wins.Load(), n)
+		}
+		m.Reset()
+	}
+}
+
+// TestMarksReset: Reset clears membership in O(1), Unmark clears one
+// slot, and marks survive until the next Reset.
+func TestMarksReset(t *testing.T) {
+	m := NewMarks(4)
+	if !m.TryMark(2) || m.TryMark(2) {
+		t.Fatal("first mark should win, second should not")
+	}
+	if !m.Marked(2) || m.Marked(1) {
+		t.Fatal("membership wrong")
+	}
+	m.Unmark(2)
+	if m.Marked(2) {
+		t.Fatal("unmark did not clear")
+	}
+	if !m.TryMark(2) {
+		t.Fatal("remark after unmark should win")
+	}
+	m.Reset()
+	if m.Marked(2) {
+		t.Fatal("reset did not clear")
+	}
+}
+
+// TestMarksGenerationWrap: force the generation counter to wrap and
+// check stale stamps cannot masquerade as current marks.
+func TestMarksGenerationWrap(t *testing.T) {
+	m := NewMarks(2)
+	m.TryMark(0)
+	m.cur = math.MaxUint32 // jump to the wrap boundary
+	m.gen[1].Store(math.MaxUint32)
+	m.Reset()
+	if m.Marked(0) || m.Marked(1) {
+		t.Fatal("wrap leaked a stale mark")
+	}
+	if !m.TryMark(1) {
+		t.Fatal("mark after wrap failed")
+	}
+}
+
+// TestFrontierDeterministicAdvance: per-shard staging lists splice in
+// shard order; sorted advance is canonical regardless of which shard
+// discovered a slot.
+func TestFrontierDeterministicAdvance(t *testing.T) {
+	f := NewFrontier(100, 3)
+	f.Add(2, 7)
+	f.Add(0, 42)
+	f.Add(1, 3)
+	f.Add(0, 7) // duplicate across shards: must dedup
+	got := f.Advance(false)
+	if want := []int32{42, 3, 7}; !slices.Equal(got, want) {
+		t.Fatalf("unsorted advance = %v, want %v", got, want)
+	}
+	// After Advance the dedup set is clear: everything re-addable.
+	f.Add(0, 7)
+	f.Add(1, 3)
+	got = f.Advance(true)
+	if want := []int32{3, 7}; !slices.Equal(got, want) {
+		t.Fatalf("sorted advance = %v, want %v", got, want)
+	}
+	if len(f.Advance(false)) != 0 {
+		t.Fatal("empty advance should drain")
+	}
+}
+
+// TestFrontierConcurrentAdd: racing adds across shards never lose or
+// duplicate slots.
+func TestFrontierConcurrentAdd(t *testing.T) {
+	const n, shards = 2000, 7
+	f := NewFrontier(n, shards)
+	rng := rand.New(rand.NewSource(9))
+	universe := make([]int32, n)
+	for i := range universe {
+		universe[i] = int32(i)
+	}
+	for trial := 0; trial < 20; trial++ {
+		rng.Shuffle(n, func(i, j int) { universe[i], universe[j] = universe[j], universe[i] })
+		Do(shards, func(w int) {
+			// Every shard tries to add an overlapping slice of the
+			// universe; dedup must keep exactly one copy of each.
+			for _, v := range universe[:n/2+w*100] {
+				f.Add(w, v)
+			}
+		})
+		got := f.Advance(true)
+		want := n/2 + (shards-1)*100
+		if len(got) != want {
+			t.Fatalf("trial %d: %d staged, want %d", trial, len(got), want)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				t.Fatalf("trial %d: duplicate slot %d", trial, got[i])
+			}
+		}
+	}
+}
+
+// TestChunksByWork: boundaries cover the items, chunks are contiguous,
+// and weights balance within one max-item of even.
+func TestChunksByWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		p := 1 + rng.Intn(9)
+		items := make([]int32, n)
+		w := make([]int64, n)
+		var total int64
+		for i := range items {
+			items[i] = int32(i)
+			w[i] = int64(rng.Intn(20))
+			total += w[i]
+		}
+		b := ChunksByWork(items, p, nil, func(v int32) int64 { return w[v] })
+		if len(b) != p+1 || b[0] != 0 || b[p] != n {
+			t.Fatalf("trial %d: bad boundaries %v (n=%d p=%d)", trial, b, n, p)
+		}
+		for i := 1; i <= p; i++ {
+			if b[i] < b[i-1] {
+				t.Fatalf("trial %d: non-monotone boundaries %v", trial, b)
+			}
+		}
+		// Each chunk's weight stays under an even share plus one item.
+		var maxItem int64
+		for _, x := range w {
+			maxItem = max(maxItem, x)
+		}
+		for i := 0; i < p; i++ {
+			var cw int64
+			for _, it := range items[b[i]:b[i+1]] {
+				cw += w[it]
+			}
+			if cw > total/int64(p)+maxItem {
+				t.Fatalf("trial %d: chunk %d weight %d exceeds share %d + max %d",
+					trial, i, cw, total/int64(p), maxItem)
+			}
+		}
+	}
+}
+
+// TestAtomicMins: the hooks install exact operands and report strict
+// decreases only.
+func TestAtomicMins(t *testing.T) {
+	var i64 atomic.Int64
+	i64.Store(10)
+	if !MinInt64(&i64, 3) || MinInt64(&i64, 3) || MinInt64(&i64, 5) || i64.Load() != 3 {
+		t.Fatal("MinInt64 semantics wrong")
+	}
+	var i32 atomic.Int32
+	i32.Store(7)
+	if !MinInt32(&i32, -2) || MinInt32(&i32, 0) || i32.Load() != -2 {
+		t.Fatal("MinInt32 semantics wrong")
+	}
+	var f atomic.Uint64
+	f.Store(math.Float64bits(math.Inf(1)))
+	if !MinFloat64Bits(&f, 1.5) || MinFloat64Bits(&f, 1.5) || MinFloat64Bits(&f, 2.0) {
+		t.Fatal("MinFloat64Bits decrease reporting wrong")
+	}
+	if math.Float64frombits(f.Load()) != 1.5 {
+		t.Fatal("MinFloat64Bits did not install the operand exactly")
+	}
+	// Concurrent torture: the final value is the global min.
+	var g atomic.Uint64
+	g.Store(math.Float64bits(math.Inf(1)))
+	Do(8, func(w int) {
+		for k := 0; k < 1000; k++ {
+			MinFloat64Bits(&g, float64((w*1000+k)%997)+0.25)
+		}
+	})
+	if math.Float64frombits(g.Load()) != 0.25 {
+		t.Fatalf("concurrent min = %v, want 0.25", math.Float64frombits(g.Load()))
+	}
+}
