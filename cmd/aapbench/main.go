@@ -29,6 +29,7 @@ func main() {
 	workersFlag := flag.String("workers", "16,32,48,64", "comma-separated worker counts for figure sweeps")
 	tableWorkers := flag.Int("table-workers", 32, "worker count for table1/exp2")
 	input := flag.String("input", "", "edge-list file for -exp ingest (default: generated stand-ins)")
+	ssspDelta := flag.Float64("sssp-delta", 0, "extra forced bucket width for the SSSP delta axis of -exp compute (0: just tiny/auto/huge)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
@@ -54,7 +55,7 @@ func main() {
 			f.Close()
 		}
 	}
-	if err := run(*exp, workers, *tableWorkers, *input); err != nil {
+	if err := run(*exp, workers, *tableWorkers, *input, *ssspDelta); err != nil {
 		stopProfile()
 		fatal(err)
 	}
@@ -89,12 +90,12 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, workers []int, tableWorkers int, input string) error {
+func run(exp string, workers []int, tableWorkers int, input string, ssspDelta float64) error {
 	experiments := map[string]func() (string, error){
 		"table1":  func() (string, error) { return harness.Table1(tableWorkers) },
 		"fig1":    harness.Fig1,
 		"ingest":  func() (string, error) { return harness.Ingest(input) },
-		"compute": harness.Compute,
+		"compute": func() (string, error) { return harness.Compute(ssspDelta) },
 		"fig6i":   func() (string, error) { return harness.Fig6ScaleUp("sssp", workers) },
 		"fig6j":   func() (string, error) { return harness.Fig6ScaleUp("pagerank", workers) },
 		"fig6k":   func() (string, error) { return harness.Fig6k(tableWorkers, []float64{1, 3, 5, 7, 9}) },

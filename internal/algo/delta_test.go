@@ -1,0 +1,213 @@
+package algo_test
+
+// Differential tests of the delta-stepping SSSP kernel: at every forced
+// shard count and bucket width — tiny (near-Dijkstra ordering), huge
+// (degenerates to one bucket, the Bellman-Ford frontier order), and
+// auto-tuned — the bucketed kernel must match the retained references
+// bit for bit, at the program level and end to end through the
+// simulator. Plus the contracts around it: the positive-weight
+// precondition fails fast, and on a road-network graph bucketing
+// actually removes re-relaxations.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/gen"
+	"aap/internal/graph"
+	"aap/internal/partition"
+	"aap/internal/sim"
+)
+
+// deltaWidths is the forced bucket-width axis: tiny approaches Dijkstra
+// (every distance its own bucket, exercising the overflow window), huge
+// collapses to a single bucket (Bellman-Ford order, zero-span staging
+// for every relaxation), 0 auto-tunes from the mean edge weight, and
+// NaN/negative must fall back to auto-tuning instead of silently
+// mis-classifying every edge (regression: 'delta <= 0' missed NaN).
+var deltaWidths = []float64{0.05, 1e18, 0, math.NaN(), -2}
+
+func deltaTag(d float64) string {
+	switch {
+	case math.IsNaN(d):
+		return "nan"
+	case d < 0:
+		return "neg"
+	case d == 0:
+		return "auto"
+	case d > 1e6:
+		return "huge"
+	default:
+		return "tiny"
+	}
+}
+
+// deltaGraphs extends the shared differential corpora with the
+// workloads the bucketed kernel exists for and its edge cases: a road
+// network (long shortest-path trees, dropped segments leaving
+// unreachable pockets), a two-component graph (whole fragments never
+// reached), and an unweighted graph (delta degenerates to BFS levels).
+func deltaGraphs() map[string]*graph.Graph {
+	gs := diffGraphs()
+	gs["roadnet"] = gen.RoadNet(24, 24, 41)
+	gs["twocomp"] = twoComponents()
+	gs["unweighted"] = gen.PowerLaw(300, 5, 2.1, false, 43)
+	return gs
+}
+
+// twoComponents builds a weighted graph whose second component is
+// unreachable from vertex 0.
+func twoComponents() *graph.Graph {
+	b := graph.NewBuilder(true)
+	b.SetWeighted()
+	for i := 0; i < 40; i++ {
+		b.AddWeightedEdge(graph.VertexID(i), graph.VertexID((i+1)%40), 1+float64(i%7))
+	}
+	for i := 100; i < 130; i++ {
+		b.AddWeightedEdge(graph.VertexID(i), graph.VertexID(100+(i+1)%30), 2.5)
+	}
+	b.AddVertex(graph.VertexID(999)) // fully isolated vertex
+	return b.Build()
+}
+
+// TestSSSPDeltaKernelMatchesRef: program-level differential — the
+// bucketed kernel at every forced shard count x bucket width against
+// sequential Dijkstra and the frontier kernel on one fragment.
+func TestSSSPDeltaKernelMatchesRef(t *testing.T) {
+	for name, g := range deltaGraphs() {
+		p, err := partition.Build(g, 1, partition.Hash{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := peval(t, p, sssp.RefJob(0))
+		for _, k := range kernelShardCounts {
+			// The auto heuristic now routes dispersed-weight fragments
+			// to the bucketed kernel, so the frontier kernel keeps its
+			// own forced-shard pins here.
+			wantF := peval(t, p, sssp.JobConfig(sssp.Config{Kernel: sssp.KernelFrontier, Shards: k}))
+			bitsEqualF64(t, fmt.Sprintf("sssp-frontier/%s/shards=%d", name, k), wantF, want)
+			for _, d := range deltaWidths {
+				cfg := sssp.Config{Kernel: sssp.KernelBuckets, Shards: k, Delta: d}
+				got := peval(t, p, sssp.JobConfig(cfg))
+				bitsEqualF64(t, fmt.Sprintf("sssp-delta/%s/shards=%d/delta=%s", name, k, deltaTag(d)), got, want)
+			}
+		}
+		if r := kernelRounds(t, p, sssp.JobConfig(sssp.Config{Kernel: sssp.KernelBuckets, Shards: 2})); r <= 0 {
+			t.Fatalf("sssp-delta/%s reported %d kernel rounds", name, r)
+		}
+	}
+}
+
+// TestSSSPDeltaUnderSim: end-to-end differential through the simulator
+// with real multi-fragment message traffic, including m close to n so
+// fragments hold one or two vertices (IncEval re-seeding dominates).
+func TestSSSPDeltaUnderSim(t *testing.T) {
+	corpora := map[string]struct {
+		g  *graph.Graph
+		ms []int
+	}{
+		"roadnet":   {gen.RoadNet(16, 16, 47), []int{2, 5}},
+		"twocomp":   {twoComponents(), []int{3}},
+		"tinyfrags": {gen.Random(24, 90, true, 51), []int{24}}, // single-vertex fragments
+	}
+	for name, c := range corpora {
+		for _, m := range c.ms {
+			p, err := partition.Build(c.g, m, partition.Hash{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := simValues(t, p, sssp.RefJob(0))
+			for _, k := range kernelShardCounts {
+				for _, d := range deltaWidths {
+					cfg := sssp.Config{Kernel: sssp.KernelBuckets, Shards: k, Delta: d}
+					got := simValues(t, p, sssp.JobConfig(cfg))
+					bitsEqualF64(t, fmt.Sprintf("sim/sssp-delta/%s/m=%d/shards=%d/delta=%s",
+						name, m, k, deltaTag(d)), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSSSPDeltaUnderEngine smokes the bucketed kernel through the real
+// concurrent engine (concurrent bucket staging under -race in CI).
+func TestSSSPDeltaUnderEngine(t *testing.T) {
+	g := gen.RoadNet(16, 16, 53)
+	p, err := partition.Build(g, 4, partition.Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := simValues(t, p, sssp.RefJob(0))
+	res, err := core.Run(p, sssp.JobConfig(sssp.Config{Kernel: sssp.KernelBuckets, Shards: 3}), core.Options{Mode: core.AAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEqualF64(t, "engine/sssp-delta", res.Values, want)
+}
+
+// TestSSSPRejectsBadWeights: the documented "edge weights must be
+// positive" contract is enforced at run start — zero, negative, NaN and
+// +Inf weights all fail fast with a clear error from both engines,
+// before any kernel can silently diverge.
+func TestSSSPRejectsBadWeights(t *testing.T) {
+	for _, bad := range []float64{0, -1.5, math.NaN(), math.Inf(1)} {
+		b := graph.NewBuilder(true)
+		b.AddWeightedEdge(0, 1, 2.5)
+		b.AddWeightedEdge(1, 2, bad)
+		g := b.Build()
+		p, err := partition.Build(g, 2, partition.Hash{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.Run(p, sssp.Job(0), core.Options{Mode: core.AAP}); err == nil {
+			t.Fatalf("engine accepted weight %v", bad)
+		} else if !strings.Contains(err.Error(), "must be positive") {
+			t.Fatalf("weight %v: unhelpful error %q", bad, err)
+		}
+		if _, err := sim.Run(p, sssp.Job(0), sim.Config{Mode: core.AAP}); err == nil {
+			t.Fatalf("simulator accepted weight %v", bad)
+		}
+	}
+	// Positive finite weights must still pass.
+	b := graph.NewBuilder(true)
+	b.AddWeightedEdge(0, 1, 0.25)
+	p, err := partition.Build(b.Build(), 1, partition.Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Run(p, sssp.Job(0), core.Options{Mode: core.AAP}); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+}
+
+// TestSSSPDeltaFewerRelaxations pins the point of the bucketed kernel:
+// on a road network the auto-tuned delta must attempt at most half the
+// edge relaxations of the Bellman-Ford-ordered frontier sweep at equal
+// shard count. Both kernels are deterministic at shards=1, so the ratio
+// is stable for a fixed seed. (The Bellman-Ford re-relaxation factor
+// grows with network diameter: 1.7x at 60x60, 2.7x here, 3.9x at
+// 200x200 — so this size is the smallest that pins the 2x claim.)
+func TestSSSPDeltaFewerRelaxations(t *testing.T) {
+	g := gen.RoadNet(100, 100, 61)
+	p, err := partition.Build(g, 1, partition.Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxations := func(cfg sssp.Config) int64 {
+		prog := sssp.JobConfig(cfg).New(p.Frags[0])
+		ctx := core.NewEngineContext[float64](p.Frags[0], 1)
+		prog.PEval(ctx)
+		ctx.TakeOut()
+		return prog.(interface{ Relaxations() int64 }).Relaxations()
+	}
+	frontier := relaxations(sssp.Config{Kernel: sssp.KernelFrontier, Shards: 1})
+	delta := relaxations(sssp.Config{Kernel: sssp.KernelBuckets, Shards: 1})
+	if delta*2 > frontier {
+		t.Fatalf("delta-stepping attempted %d relaxations vs frontier's %d: want at least 2x fewer",
+			delta, frontier)
+	}
+}

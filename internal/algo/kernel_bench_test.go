@@ -45,6 +45,27 @@ func BenchmarkKernelSSSP(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelSSSPDelta is the delta axis on the road-network
+// stand-in: the Bellman-Ford-ordered frontier sweep against the
+// bucketed kernel at tiny/auto/huge bucket widths — relaxation counts,
+// not just wall time, are what the widths trade (see aapbench -exp
+// compute for the counters).
+func BenchmarkKernelSSSPDelta(b *testing.B) {
+	g := gen.RoadNet(150, 150, 131)
+	p := benchFragment(b, g)
+	b.Run("frontier", func(b *testing.B) {
+		benchKernel(b, p, sssp.JobConfig(sssp.Config{Kernel: sssp.KernelFrontier, Shards: 1}))
+	})
+	for _, d := range []struct {
+		name  string
+		delta float64
+	}{{"tiny", 0.02}, {"auto", 0}, {"huge", 1e18}} {
+		b.Run("delta="+d.name, func(b *testing.B) {
+			benchKernel(b, p, sssp.JobConfig(sssp.Config{Kernel: sssp.KernelBuckets, Shards: 1, Delta: d.delta}))
+		})
+	}
+}
+
 func BenchmarkKernelCC(b *testing.B) {
 	g := graph.AsUndirected(gen.PowerLaw(40000, 8, 2.1, false, 5))
 	p := benchFragment(b, g)

@@ -1,21 +1,29 @@
 // Package sssp is the PIE program for single-source shortest paths
-// (Section 5.1 of the paper). Two kernels implement the same PEval /
+// (Section 5.1 of the paper). Three kernels implement the same PEval /
 // IncEval semantics:
 //
 //   - the retained sequential reference (sssp_ref.go): Dijkstra as PEval
 //     and Ramalingam-Reps incremental relaxation as IncEval;
 //   - the frontier-parallel kernel (this file): a sharded worklist of
-//     improved vertices swept in parallel over the CSR rows, relaxing
-//     with an exact atomic float-min.
+//     improved vertices swept in Bellman-Ford order over the CSR rows,
+//     relaxing with an exact atomic float-min;
+//   - the bucketed delta-stepping kernel (delta.go): the same sweep
+//     staged through distance-range buckets (par.Buckets) with a
+//     light/heavy edge split, restoring near-Dijkstra work on weighted
+//     graphs with long shortest-path trees at full shard parallelism.
 //
-// The two are bit-identical by construction: with positive weights every
-// candidate distance is the left-to-right sum along one path, extending
-// a path never lowers its sum, and min over that candidate set is exact
-// — so the fixpoint is unique and independent of relaxation order. The
-// differential tests in internal/algo pin this at forced shard counts.
+// The three are bit-identical by construction: with positive weights
+// every candidate distance is the left-to-right sum along one path,
+// extending a path never lowers its sum, and min over that candidate set
+// is exact — so the fixpoint is unique and independent of relaxation
+// order. Bucketing changes only how much work reaching it wastes. The
+// differential tests in internal/algo pin this at forced shard counts
+// and bucket widths. The positivity precondition the argument rests on
+// is enforced by ValidateWeights before any kernel runs.
 package sssp
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 
@@ -28,28 +36,84 @@ import (
 // Inf is the distance of unreachable vertices.
 var Inf = math.Inf(1)
 
-// Job builds the SSSP PIE job for the given source (an external vertex
-// id). Edge weights must be positive; unweighted edges count as 1. Each
-// fragment picks its kernel by size: fragments with enough edges to
-// shard run the frontier-parallel kernel, small ones keep the
-// work-optimal sequential Dijkstra.
-func Job(source graph.VertexID) core.Job[float64] {
-	return JobShards(source, 0)
+// KernelKind selects which SSSP kernel a fragment runs.
+type KernelKind int
+
+const (
+	// KernelAuto picks per fragment: sequential Dijkstra below the
+	// sharding grain, the bucketed kernel when edge weights are
+	// dispersed, the plain frontier sweep otherwise.
+	KernelAuto KernelKind = iota
+	// KernelRef forces the retained sequential Dijkstra reference.
+	KernelRef
+	// KernelFrontier forces the Bellman-Ford-ordered frontier sweep.
+	KernelFrontier
+	// KernelBuckets forces the delta-stepping bucketed frontier.
+	KernelBuckets
+)
+
+// ParseKernel resolves a CLI kernel name.
+func ParseKernel(s string) (KernelKind, error) {
+	switch s {
+	case "auto", "":
+		return KernelAuto, nil
+	case "ref":
+		return KernelRef, nil
+	case "frontier":
+		return KernelFrontier, nil
+	case "buckets", "delta":
+		return KernelBuckets, nil
+	}
+	return 0, fmt.Errorf("sssp: unknown kernel %q (want auto, ref, frontier or buckets)", s)
 }
 
-// JobShards builds the SSSP job with a forced kernel shard count:
-// shards >= 1 runs the frontier-parallel kernel with exactly that many
-// shards per round (1 exercises the sweep single-threaded), 0 picks
-// automatically. The differential tests and the compute-scaling
-// benchmark force the axis through here.
+// Config parameterizes the SSSP job. The zero value (plus a Source) is
+// the production configuration: automatic kernel choice, automatic
+// shard count, delta tuned from the mean edge weight.
+type Config struct {
+	// Source is the external id of the source vertex.
+	Source graph.VertexID
+
+	// Shards forces the kernel shard count per round when >= 1
+	// (1 exercises the sweeps single-threaded); 0 picks automatically.
+	// The differential tests and the compute-scaling benchmark force
+	// the axis through here.
+	Shards int
+
+	// Delta is the bucket width of the delta-stepping kernel: distances
+	// [i*Delta, (i+1)*Delta) share bucket i. 0 auto-tunes to the mean
+	// edge weight of the fragment. A tiny Delta approaches Dijkstra
+	// ordering (least wasted work, most rounds); a huge one degrades to
+	// a single bucket, i.e. the Bellman-Ford frontier order.
+	Delta float64
+
+	// Kernel selects the kernel; KernelAuto (the zero value) decides
+	// per fragment.
+	Kernel KernelKind
+}
+
+// Job builds the SSSP PIE job for the given source (an external vertex
+// id). Edge weights must be positive and finite — enforced up front by
+// ValidateWeights; unweighted edges count as 1. Each fragment picks its
+// kernel automatically (see KernelAuto).
+func Job(source graph.VertexID) core.Job[float64] {
+	return JobConfig(Config{Source: source})
+}
+
+// JobShards builds the SSSP job with a forced kernel shard count, the
+// scaling axis of the differential tests and benchmarks; kernel choice
+// stays automatic.
 func JobShards(source graph.VertexID, shards int) core.Job[float64] {
+	return JobConfig(Config{Source: source, Shards: shards})
+}
+
+// JobConfig builds the SSSP job from an explicit configuration.
+func JobConfig(cfg Config) core.Job[float64] {
 	return core.Job[float64]{
-		Name: "sssp",
+		Name:     "sssp",
+		Validate: ValidateWeights,
 		New: func(f *partition.Fragment) core.Program[float64] {
-			if shards == 0 && par.Kernel(f.Graph().OutSpan(f.Lo, f.Hi)) <= 1 {
-				return newRefProgram(f, source)
-			}
-			return newProgram(f, source, shards)
+			return newKernel(f, cfg)
 		},
 		Aggregate: math.Min,
 		Bytes:     func(float64) int { return 8 },
@@ -60,15 +124,63 @@ func JobShards(source graph.VertexID, shards int) core.Job[float64] {
 // RefJob builds the job over the retained sequential kernel only — the
 // pinned oracle of the differential tests.
 func RefJob(source graph.VertexID) core.Job[float64] {
-	return core.Job[float64]{
-		Name: "sssp",
-		New: func(f *partition.Fragment) core.Program[float64] {
-			return newRefProgram(f, source)
-		},
-		Aggregate: math.Min,
-		Bytes:     func(float64) int { return 8 },
-		Default:   func(int32) float64 { return Inf },
+	return JobConfig(Config{Source: source, Kernel: KernelRef})
+}
+
+// weightDispersionMin is the coefficient-of-variation threshold of the
+// kernel heuristic: below it weights are (near) uniform, every frontier
+// level is one distance band, and Bellman-Ford order already is
+// delta-stepping order — bucketing would only add staging overhead.
+const weightDispersionMin = 0.1
+
+// newKernel resolves cfg to a program for fragment f.
+func newKernel(f *partition.Fragment, cfg Config) core.Program[float64] {
+	switch cfg.Kernel {
+	case KernelRef:
+		return newRefProgram(f, cfg.Source)
+	case KernelFrontier:
+		return newProgram(f, cfg.Source, cfg.Shards)
+	case KernelBuckets:
+		return newDeltaProgram(f, cfg.Source, cfg.Shards, cfg.Delta)
 	}
+	if cfg.Shards == 0 && par.Kernel(f.Graph().OutSpan(f.Lo, f.Hi)) <= 1 {
+		// Too small to shard: sequential Dijkstra is work-optimal.
+		return newRefProgram(f, cfg.Source)
+	}
+	if mean, disp := weightStats(f); disp >= weightDispersionMin {
+		// Dispersed weights: long shortest-path trees re-relax badly in
+		// Bellman-Ford order; bucket the frontier. The mean is in hand,
+		// so resolve the auto delta here instead of rescanning the
+		// fragment's weights in newDeltaProgram.
+		delta := cfg.Delta
+		if !(delta > 0) {
+			delta = mean
+		}
+		return newDeltaProgram(f, cfg.Source, cfg.Shards, delta)
+	}
+	return newProgram(f, cfg.Source, cfg.Shards)
+}
+
+// ValidateWeights enforces the job's documented precondition: every
+// edge weight is positive and finite. A zero, negative, NaN or infinite
+// weight silently voids the unique-fixpoint argument (relaxation order
+// could then change results, and zero-weight cycles never terminate),
+// so engines fail fast instead. Unweighted graphs pass trivially.
+func ValidateWeights(p *partition.Partitioned) error {
+	g := p.G
+	if !g.Weighted() {
+		return nil
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		out := g.Out(v)
+		for i, w := range g.OutWeights(v) {
+			if !(w > 0) || math.IsInf(w, 1) {
+				return fmt.Errorf("sssp: edge %d->%d has weight %v: edge weights must be positive and finite",
+					g.IDOf(v), g.IDOf(out[i]), w)
+			}
+		}
+	}
+	return nil
 }
 
 // program is the frontier-parallel kernel: distances live in atomic
@@ -86,9 +198,10 @@ type program struct {
 	fr          *par.Frontier   // owned slots to re-expand
 	copyChanged *par.Marks      // F.O copies improved since last flush
 
-	bounds []int   // reusable chunk-boundary scratch
-	edges  []int64 // per-shard edge counts for work accounting
-	rounds int     // kernel (frontier) rounds executed
+	bounds  []int   // reusable chunk-boundary scratch
+	edges   []int64 // per-shard edge counts for work accounting
+	rounds  int     // kernel (frontier) rounds executed
+	relaxed int64   // edge relaxations attempted
 }
 
 func newProgram(f *partition.Fragment, source graph.VertexID, shards int) *program {
@@ -106,6 +219,10 @@ func newProgram(f *partition.Fragment, source graph.VertexID, shards int) *progr
 // KernelRounds reports the frontier rounds executed so far (the
 // per-round scaling axis of aapbench -exp compute).
 func (p *program) KernelRounds() int { return p.rounds }
+
+// Relaxations reports the edge relaxations attempted so far — the work
+// metric the delta-stepping comparison is about.
+func (p *program) Relaxations() int64 { return p.relaxed }
 
 // PEval seeds the source if owned and sweeps to the local fixpoint.
 func (p *program) PEval(ctx *core.Context[float64]) {
@@ -197,6 +314,7 @@ func (p *program) sweep(ctx *core.Context[float64]) {
 		for _, n := range edges {
 			total += n
 		}
+		p.relaxed += total
 		ctx.AddWork(int(total))
 	}
 }
@@ -219,19 +337,25 @@ func (p *program) relax(u int32, nd float64, w int, owned int32) {
 }
 
 // flushBorder ships the distances of copies improved since the last
-// flush, staged across kernel shards and merged in copy-slot order so
-// the per-destination message order matches a sequential pass.
+// flush.
 func (p *program) flushBorder(ctx *core.Context[float64]) {
-	nOut := len(p.f.Out)
+	flushAtomicCopies(ctx, p.f, p.dist, p.copyChanged, p.kernelShards(int64(len(p.f.Out))))
+}
+
+// flushAtomicCopies ships the distances of F.O copies marked in changed,
+// staged across k kernel shards and merged in copy-slot order so the
+// per-destination message order matches a sequential pass, then clears
+// the mark set. Shared by the frontier and delta-stepping kernels.
+func flushAtomicCopies(ctx *core.Context[float64], f *partition.Fragment, dist []atomic.Uint64, changed *par.Marks, k int) {
+	nOut := len(f.Out)
 	if nOut == 0 {
 		return
 	}
-	owned := int32(p.f.NumOwned())
-	k := p.kernelShards(int64(nOut))
+	owned := int32(f.NumOwned())
 	if k <= 1 {
-		for i, v := range p.f.Out {
-			if p.copyChanged.Marked(int32(i)) {
-				ctx.Send(v, math.Float64frombits(p.dist[owned+int32(i)].Load()))
+		for i, v := range f.Out {
+			if changed.Marked(int32(i)) {
+				ctx.Send(v, math.Float64frombits(dist[owned+int32(i)].Load()))
 			}
 		}
 	} else {
@@ -239,12 +363,12 @@ func (p *program) flushBorder(ctx *core.Context[float64]) {
 		par.Do(k, func(w int) {
 			st := stages[w]
 			for i := w * nOut / k; i < (w+1)*nOut/k; i++ {
-				if p.copyChanged.Marked(int32(i)) {
-					st.Send(p.f.Out[i], math.Float64frombits(p.dist[owned+int32(i)].Load()))
+				if changed.Marked(int32(i)) {
+					st.Send(f.Out[i], math.Float64frombits(dist[owned+int32(i)].Load()))
 				}
 			}
 		})
 		ctx.MergeStages()
 	}
-	p.copyChanged.Reset()
+	changed.Reset()
 }

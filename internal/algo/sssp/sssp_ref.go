@@ -31,7 +31,12 @@ type refProgram struct {
 	// bitmap over copy slots so each copy is recorded at most once.
 	changedCopies []int32
 	copyChanged   []bool
+	relaxed       int64 // edge relaxations attempted
 }
+
+// Relaxations reports the edge relaxations attempted so far, the work
+// metric the kernel comparisons in aapbench -exp compute use.
+func (p *refProgram) Relaxations() int64 { return p.relaxed }
 
 func newRefProgram(f *partition.Fragment, source graph.VertexID) *refProgram {
 	p := &refProgram{f: f, g: f.Graph(), source: source}
@@ -105,6 +110,7 @@ func (p *refProgram) dijkstra(ctx *core.Context[float64]) {
 		ws := p.g.OutWeights(it.v)
 		out := p.g.Out(it.v)
 		ctx.AddWork(len(out))
+		p.relaxed += int64(len(out))
 		for i, u := range out {
 			w := 1.0
 			if ws != nil {

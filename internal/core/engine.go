@@ -61,6 +61,11 @@ func (o *Options) withDefaults() Options {
 // each worker's delay-stretch controller, and termination detected when
 // every worker is inactive with no designated messages in flight.
 func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T], error) {
+	if job.Validate != nil {
+		if err := job.Validate(p); err != nil {
+			return nil, err
+		}
+	}
 	opts = opts.withDefaults()
 	e := &engine[T]{
 		p:          p,

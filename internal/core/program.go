@@ -75,6 +75,14 @@ type Job[T any] struct {
 	// Default returns the value reported for vertices never touched by
 	// the computation; the zero value of T when nil.
 	Default func(v int32) T
+
+	// Validate, when set, checks the job's preconditions against the
+	// partitioned graph (e.g. SSSP's "edge weights must be positive",
+	// which the unique-fixpoint argument rests on). Engines call it
+	// before constructing any Program and fail fast on error, so a bad
+	// input surfaces as a clear error instead of kernels silently
+	// diverging.
+	Validate func(p *partition.Partitioned) error
 }
 
 // valueBytes returns the accounted wire size of val plus the fixed

@@ -89,6 +89,62 @@ func Grid(rows, cols int, seed int64) *graph.Graph {
 	return b.Build()
 }
 
+// RoadNet generates an undirected road-network-like graph: a jittered
+// rows x cols lattice of intersections whose segment weights are the
+// Euclidean length of the segment scaled by a skewed per-edge speed
+// factor, with a small fraction of local segments dropped (closed
+// roads — occasionally stranding a pocket of unreachable vertices, as
+// real map extracts do) and sparse diagonal shortcuts. Compared to Grid
+// it keeps the high diameter and near-uniform degree but disperses the
+// weights, producing the long shortest-path trees on which
+// Bellman-Ford-ordered relaxation re-relaxes worst — the workload the
+// delta-stepping SSSP kernel is for.
+func RoadNet(rows, cols int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(false)
+	b.SetWeighted()
+	b.Reserve(rows*cols, 2*rows*cols+rows*cols/16)
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	// Jittered intersection coordinates; jitter stays below half the
+	// lattice spacing so segment lengths are always positive.
+	xs := make([]float64, rows*cols)
+	ys := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := int(id(r, c))
+			b.AddVertex(graph.VertexID(i))
+			xs[i] = float64(c) + (rng.Float64()-0.5)*0.6
+			ys[i] = float64(r) + (rng.Float64()-0.5)*0.6
+		}
+	}
+	segment := func(a, d graph.VertexID) {
+		dx, dy := xs[a]-xs[d], ys[a]-ys[d]
+		length := math.Sqrt(dx*dx + dy*dy)
+		// Skewed speed factor in [1, 4): most roads are fast, a few
+		// crawl, so weights disperse instead of clustering at the mean.
+		speed := 1 + 3*rng.Float64()*rng.Float64()
+		b.AddWeightedEdge(a, d, length*speed)
+	}
+	const (
+		pClosed = 0.06 // local segment dropped
+		pDiag   = 0.04 // diagonal shortcut added
+	)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols && rng.Float64() >= pClosed {
+				segment(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows && rng.Float64() >= pClosed {
+				segment(id(r, c), id(r+1, c))
+			}
+			if r+1 < rows && c+1 < cols && rng.Float64() < pDiag {
+				segment(id(r, c), id(r+1, c+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
 // SmallWorld generates an undirected Watts-Strogatz small-world graph:
 // a ring lattice with k neighbors per side and rewiring probability p.
 // It is the GTgraph "small world" stand-in used for the large synthetic

@@ -80,28 +80,29 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // lines, so ordinary SNAP-style edge lists also load (defaulting to
 // directed, unweighted unless a third column is present).
 //
-// The input is slurped and parsed by the chunked parallel loader
-// (loader.go): the byte range splits into newline-aligned chunks parsed
-// concurrently, external ids intern through hash-sharded maps, and a
-// deterministic merge reproduces the exact graph the retained
-// sequential reference reader builds — same vertex order, same edge
-// order, same errors. One divergence: only ASCII whitespace separates
-// fields (the reference's strings.Fields also accepted NBSP/NEL).
+// The input is parsed by the chunked parallel loader (loader.go): the
+// byte range splits into newline-aligned chunks parsed concurrently,
+// external ids intern through hash-sharded maps, and a deterministic
+// merge reproduces the exact graph the retained sequential reference
+// reader builds — same vertex order, same edge order, same field
+// separators (all of unicode.IsSpace, like strings.Fields), same
+// errors.
+// Inputs up to one stream window load in memory; larger inputs parse
+// window by window with carry-over partial lines (stream.go), so peak
+// resident bytes stay near the parsed representation instead of >= the
+// input size.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, err
-	}
-	return ParseEdgeList(data)
+	return readEdgeListStream(r)
 }
 
-// ReadEdgeListFile loads an edge-list file through the parallel parser.
-// os.ReadFile sizes the buffer from the inode, so the whole path does
-// one read and one allocation before parsing starts.
+// ReadEdgeListFile loads an edge-list file through the parallel parser,
+// streaming it in fixed-size windows (see ReadEdgeList) so files larger
+// than memory do not slurp.
 func ReadEdgeListFile(path string) (*Graph, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	return ParseEdgeList(data)
+	defer f.Close()
+	return readEdgeListStream(f)
 }

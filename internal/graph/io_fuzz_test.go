@@ -3,8 +3,6 @@ package graph
 import (
 	"bytes"
 	"testing"
-	"unicode"
-	"unicode/utf8"
 
 	"aap/internal/par"
 )
@@ -12,11 +10,10 @@ import (
 // FuzzReadEdgeList feeds arbitrary byte streams through the chunked
 // parallel parser and the sequential reference, asserting identical
 // graphs or identical errors under both a single- and a multi-chunk
-// split. Only inputs containing a multi-byte unicode whitespace rune
-// (NBSP, NEL, ideographic space, …) are skipped — the one documented
-// divergence, since the reference's strings.Fields/TrimSpace treat
-// them as separators and the byte-wise tokenizer does not. All other
-// binary and invalid-UTF-8 streams must agree.
+// split. This includes multi-byte unicode whitespace (NBSP, NEL,
+// ideographic space, …) — the tokenizer decodes runes like the
+// reference's strings.Fields — and arbitrary binary / invalid-UTF-8
+// streams.
 func FuzzReadEdgeList(f *testing.F) {
 	seeds := []string{
 		"",
@@ -34,18 +31,23 @@ func FuzzReadEdgeList(f *testing.F) {
 		"# directed=true weighted=true\nv 3\n",
 		"0 1 0x1p-2\n",
 		"\t0\t1\t\n1 2\n",
+		// Unicode whitespace: NBSP separator, NEL leading, ideographic
+		// space, thin space in a weighted line, unicode-blank line,
+		// NBSP before a comment mark, a truncated rune at EOL, and a
+		// line separator (not a line break in either reader).
+		"0\u00a01\n",
+		"\u00851 2\n",
+		"1\u30002\u30003.5\n",
+		"# directed=true weighted=true\n7\u20098 0.5\nv\u00a09\n",
+		"\u00a0\u2028\u00a0\n1 2\n",
+		"\u00a0# directed=true weighted=true\n0 1\n",
+		"1 2\xe2\x80\n",
+		"\u20280 1\u2029\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		for i := 0; i < len(data); {
-			r, size := utf8.DecodeRune(data[i:])
-			if size > 1 && unicode.IsSpace(r) {
-				t.Skip("non-ASCII whitespace semantics intentionally diverge")
-			}
-			i += size
-		}
 		want, wantErr := readEdgeListRef(bytes.NewReader(data))
 		for _, procs := range []int{1, 3} {
 			prev := par.Override

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 )
 
 // parseBoth runs the chunked parallel parser and the retained sequential
@@ -209,12 +210,12 @@ func TestWriteEdgeListHeader(t *testing.T) {
 	if first != "# directed=true weighted=true n=4 m=2" {
 		t.Fatalf("header = %q", first)
 	}
-	h, err := scanHeader(buf.Bytes())
-	if err != nil {
+	h := newHeader()
+	if _, err := h.scan(buf.Bytes()); err != nil {
 		t.Fatal(err)
 	}
 	if !h.directed || !h.weighted || h.nHint != 4 || h.mHint != 2 {
-		t.Fatalf("scanHeader = %+v", h)
+		t.Fatalf("header scan = %+v", h)
 	}
 }
 
@@ -291,6 +292,56 @@ func BenchmarkWriteEdgeList(b *testing.B) {
 		buf.Grow(len(data))
 		if err := WriteEdgeList(&buf, g); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestReadEdgeListUnicodeWhitespace pins the tokenizer's unicode
+// semantics deterministically (the fuzz corpus is not committed): every
+// separator strings.Fields accepts — NBSP, NEL, thin space, ideographic
+// space, line/paragraph separators — must tokenize identically in the
+// chunked parser, and non-space multi-byte runes must stay token bytes.
+func TestReadEdgeListUnicodeWhitespace(t *testing.T) {
+	cases := []string{
+		"0\u00a01\n",                                 // NBSP separates fields
+		"\u00851 2\n",                                // NEL before the first token
+		"1\u30002\u30003.5\n",                        // ideographic space, weighted
+		"7\u20098 0.5\nv\u00a09\n",                   // thin space + NBSP vertex line
+		"\u00a0\u2028\u00a0\n1 2\n",                  // unicode-blank line skipped
+		"\u00a0# directed=true weighted=true\n0 1\n", // NBSP-indented header
+		"\u20280 1\u2029\n",                          // line/paragraph separators trim
+		"1 2\xe2\x80\n",                              // truncated rune: token bytes
+		"0 \u00e9 1\n",                               // non-space rune: 3 fields, bad number
+		"v\u00a05\n",                                 // vertex line with unicode separator
+	}
+	for _, procs := range shardCounts {
+		for i, in := range cases {
+			forceShards(t, procs)
+			got, gotErr, want, wantErr := parseBoth([]byte(in))
+			checkSameOutcome(t, tagOf("unicode", procs, int64(i)), got, gotErr, want, wantErr)
+		}
+	}
+}
+
+// TestLyingHeaderHints: a tiny input claiming two billion vertices and
+// edges in its header must parse instantly — hints size buffers from
+// clamped or actual counts, never from the header's raw claim
+// (regression: the dedup-shard intern tables were sized straight from
+// n=, turning a 46-byte file into a multi-gigabyte allocation).
+func TestLyingHeaderHints(t *testing.T) {
+	data := []byte("# directed=true weighted=false n=2000000000 m=2000000000\n0 1\n1 2\n")
+	for _, procs := range shardCounts {
+		forceShards(t, procs)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			got, gotErr, want, wantErr := parseBoth(data)
+			checkSameOutcome(t, tagOf("lying-header", procs, 0), got, gotErr, want, wantErr)
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("procs=%d: lying header hint forced a pathological allocation", procs)
 		}
 	}
 }

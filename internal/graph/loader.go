@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"strconv"
 	"sync/atomic"
+	"unicode"
+	"unicode/utf8"
 	"unsafe"
 
 	"aap/internal/par"
@@ -49,11 +51,57 @@ const (
 	maxLineLen = 1 << 20
 )
 
-// asciiSpace marks the byte-wide separators of the tokenizer: the ASCII
-// subset of unicode.IsSpace. Multi-byte whitespace (NBSP, NEL) is not
-// treated as a separator, the one documented divergence from the
-// reference reader's strings.Fields.
+// asciiSpace marks the single-byte separators of the tokenizer: the
+// ASCII subset of unicode.IsSpace, the fast path of every line. Bytes
+// outside ASCII take the rune-decoding slow path so multi-byte
+// whitespace (NBSP, NEL, ideographic space, …) separates fields exactly
+// as the reference reader's strings.Fields does — the two paths accept
+// identical inputs byte for byte.
 var asciiSpace = [256]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
+
+// skipSpace advances i over the whitespace run starting at region[i],
+// returning the first non-space position <= le. ASCII bytes resolve
+// through the table; other bytes decode as UTF-8 and consult
+// unicode.IsSpace, mirroring strings.Fields (invalid sequences decode
+// to U+FFFD, which is not a space, and join the next token byte-wise in
+// both readers).
+func skipSpace(region []byte, i, le int) int {
+	for i < le {
+		if c := region[i]; c < utf8.RuneSelf {
+			if !asciiSpace[c] {
+				return i
+			}
+			i++
+			continue
+		}
+		r, sz := utf8.DecodeRune(region[i:le])
+		if !unicode.IsSpace(r) {
+			return i
+		}
+		i += sz
+	}
+	return i
+}
+
+// skipToken advances i over the token starting at region[i] (which must
+// not be a space), returning the position just past it.
+func skipToken(region []byte, i, le int) int {
+	for i < le {
+		if c := region[i]; c < utf8.RuneSelf {
+			if asciiSpace[c] {
+				return i
+			}
+			i++
+			continue
+		}
+		r, sz := utf8.DecodeRune(region[i:le])
+		if unicode.IsSpace(r) {
+			return i
+		}
+		i += sz
+	}
+	return i
+}
 
 // bstr reinterprets b as a string without copying — strconv fallbacks
 // only read the bytes during the call and the loader never mutates the
@@ -205,18 +253,24 @@ func (f *flatIntern) rehash() {
 // where the data region starts.
 type header struct {
 	directed, weighted bool
+	seen               bool // a "directed=" comment already fixed the flags
 	nHint, mHint       int
 	off                int // byte offset of the first data line
 	lines              int // lines consumed before the data region
 }
 
-// scanHeader consumes leading blank and comment lines exactly like the
-// reference reader: the first comment containing "directed=" fixes the
-// flags, later ones are ignored, and flags are frozen once the first
-// data line appears.
-func scanHeader(data []byte) (header, error) {
-	h := header{directed: true}
-	headerSeen := false
+// newHeader returns the prescan state with the reference reader's
+// defaults (directed, unweighted).
+func newHeader() header { return header{directed: true} }
+
+// scan consumes leading blank and comment lines from data exactly like
+// the reference reader: the first comment containing "directed=" fixes
+// the flags, later ones are ignored, and flags are frozen once the
+// first data line appears. done=true means a data line was found and
+// h.off is its offset within data; done=false means data held only
+// header lines — the streaming reader calls scan again on the next
+// window, accumulating flags, hints and line counts across calls.
+func (h *header) scan(data []byte) (done bool, err error) {
 	pos := 0
 	for pos < len(data) {
 		ls := pos
@@ -225,7 +279,7 @@ func scanHeader(data []byte) (header, error) {
 			le, next = pos+nl, pos+nl+1
 		}
 		if le-ls >= maxLineLen {
-			return h, bufio.ErrTooLong
+			return false, bufio.ErrTooLong
 		}
 		line := bytes.TrimSpace(data[ls:le])
 		if len(line) == 0 {
@@ -235,10 +289,10 @@ func scanHeader(data []byte) (header, error) {
 		}
 		if line[0] != '#' {
 			h.off = ls
-			return h, nil
+			return true, nil
 		}
-		if !headerSeen && bytes.Contains(line, []byte("directed=")) {
-			headerSeen = true
+		if !h.seen && bytes.Contains(line, []byte("directed=")) {
+			h.seen = true
 			h.directed = bytes.Contains(line, []byte("directed=true"))
 			h.weighted = bytes.Contains(line, []byte("weighted=true"))
 		}
@@ -247,7 +301,7 @@ func scanHeader(data []byte) (header, error) {
 		pos = next
 	}
 	h.off = len(data)
-	return h, nil
+	return false, nil
 }
 
 // scanHints extracts n=/m= size hints from a header comment. They only
@@ -358,16 +412,12 @@ func (c *chunk) parse(region []byte, shards, vHint, eHint int) {
 		// Tokenize: remember the first three tokens, count them all.
 		total := 0
 		for i := ls; i < le; {
-			for i < le && asciiSpace[region[i]] {
-				i++
-			}
+			i = skipSpace(region, i, le)
 			if i >= le {
 				break
 			}
 			s := i
-			for i < le && !asciiSpace[region[i]] {
-				i++
-			}
+			i = skipToken(region, i, le)
 			if total < 3 {
 				tok[total] = [2]int{s, i}
 			}
@@ -523,23 +573,39 @@ func mergeAssign(assigns []shardAssign, ids []VertexID) {
 // ParseEdgeList parses an in-memory edge list with the chunked parallel
 // loader. See ReadEdgeList for the format.
 func ParseEdgeList(data []byte) (*Graph, error) {
-	h, err := scanHeader(data)
-	if err != nil {
+	h := newHeader()
+	if _, err := h.scan(data); err != nil {
 		return nil, err
 	}
 	region := data[h.off:]
-
-	// Clamp the header hints so a lying header cannot force absurd
-	// allocations: every edge line has ≥4 bytes, every vertex ≥2.
-	if h.mHint > len(region)/4+1 {
-		h.mHint = len(region)/4 + 1
-	}
-	if h.nHint > len(region)/2+1 {
-		h.nHint = len(region)/2 + 1
-	}
-
 	procs := par.Procs(int64(len(region)), loaderGrainBytes)
-	shards := procs
+	vHint, eHint := h.chunkHints(len(region), procs*loaderChunksPerWorker)
+	chunks := parseChunks(region, procs, procs, vHint, eHint)
+	if _, err := chunkFail(chunks, h.lines); err != nil {
+		return nil, err
+	}
+	return assembleGraph(h, chunks, procs, procs), nil
+}
+
+// chunkHints sizes the per-chunk vertex/edge buffer hints for nc chunks
+// over a region of regionLen bytes, clamping the header's claims so a
+// lying header cannot force absurd allocations: every edge line has ≥4
+// bytes, every vertex ≥2.
+func (h *header) chunkHints(regionLen, nc int) (vHint, eHint int) {
+	n, m := h.nHint, h.mHint
+	if m > regionLen/4+1 {
+		m = regionLen/4 + 1
+	}
+	if n > regionLen/2+1 {
+		n = regionLen/2 + 1
+	}
+	return n/nc + 8, m/nc + 8
+}
+
+// parseChunks splits region into newline-aligned chunks pulled by procs
+// workers from a shared counter and parses them concurrently, interning
+// ids into `shards` dedup shards.
+func parseChunks(region []byte, procs, shards, vHint, eHint int) []chunk {
 	nc := procs * loaderChunksPerWorker
 
 	// Newline-aligned chunk boundaries: push each tentative split to
@@ -563,8 +629,6 @@ func ParseEdgeList(data []byte) (*Graph, error) {
 	}
 
 	chunks := make([]chunk, nc)
-	vHint := h.nHint/nc + 8
-	eHint := h.mHint/nc + 8
 	var nextChunk atomic.Int32
 	par.Do(procs, func(int) {
 		for {
@@ -576,28 +640,44 @@ func ParseEdgeList(data []byte) (*Graph, error) {
 			chunks[k].parse(region, shards, vHint, eHint)
 		}
 	})
+	return chunks
+}
 
-	// First failure in file order wins, with the reference reader's
-	// line numbering (prescan lines + full lines of earlier chunks).
-	line := h.lines
+// chunkFail scans chunks for the first failure in file order and
+// materializes it with the reference reader's line numbering; startLine
+// is the global line count before chunks[0]. On success it returns the
+// line count after the last chunk, so the streaming reader can thread
+// it through windows. (Errors are formatted here, before the caller may
+// reuse the underlying byte buffer, because strconv errors alias it.)
+func chunkFail(chunks []chunk, startLine int) (int, error) {
+	line := startLine
 	for k := range chunks {
 		c := &chunks[k]
 		if c.fail.kind != failNone {
 			n := line + c.fail.line
 			switch c.fail.kind {
 			case failTooLong:
-				return nil, bufio.ErrTooLong
+				return 0, bufio.ErrTooLong
 			case failBadVertex:
-				return nil, fmt.Errorf("graph: line %d: bad vertex line", n)
+				return 0, fmt.Errorf("graph: line %d: bad vertex line", n)
 			case failFieldCount:
-				return nil, fmt.Errorf("graph: line %d: expected 2 or 3 fields, got %d", n, c.fail.count)
+				return 0, fmt.Errorf("graph: line %d: expected 2 or 3 fields, got %d", n, c.fail.count)
 			default:
-				return nil, fmt.Errorf("graph: line %d: %v", n, c.fail.num)
+				return 0, fmt.Errorf("graph: line %d: %v", n, c.fail.num)
 			}
 		}
 		line += c.lines
 	}
+	return line, nil
+}
 
+// assembleGraph runs the sharded dedup, the deterministic merge and the
+// edge remap over the parsed (failure-free) chunks and builds the CSR
+// graph. Chunks must all have interned into `shards` shards; the order
+// of the slice is file order, which the (chunk, position) merge keys
+// rely on.
+func assembleGraph(h header, chunks []chunk, procs, shards int) *Graph {
+	nc := len(chunks)
 	sawData, sawWeight := false, false
 	m := 0
 	for k := range chunks {
@@ -612,11 +692,18 @@ func ParseEdgeList(data []byte) (*Graph, error) {
 
 	// Sharded dedup: shard s scans every chunk's bucket s in (chunk,
 	// position) order, keeping the first record per id. The kept keys
-	// come out sorted, so the merge below is a linear S-way merge.
+	// come out sorted, so the merge below is a linear S-way merge. The
+	// intern table is sized from the actual record count — an exact
+	// upper bound on the shard's distinct ids — never from the header's
+	// unclamped n= claim (a lying header must not force allocations).
 	assigns := make([]shardAssign, shards)
 	par.Do(shards, func(s int) {
 		a := &assigns[s]
-		a.m = newFlatIntern(h.nHint/shards + 8)
+		recs := 0
+		for k := range chunks {
+			recs += len(chunks[k].buckets[s])
+		}
+		a.m = newFlatIntern(recs)
 		for k := range chunks {
 			for _, r := range chunks[k].buckets[s] {
 				// Membership insert; the final id overwrites it below.
@@ -699,5 +786,5 @@ func ParseEdgeList(data []byte) (*Graph, error) {
 	// Build never touches it), so no per-edge Builder calls and no
 	// single-map contention anywhere on the path.
 	b := &Builder{directed: h.directed, weighted: weighted, ids: ids, srcs: srcs, dsts: dsts, ws: ws}
-	return b.Build(), nil
+	return b.Build()
 }

@@ -61,6 +61,19 @@ func TrafficSim(scale int) Dataset {
 	}
 }
 
+// RoadNetSim is the road-network stand-in with dispersed segment
+// weights (gen.RoadNet): high diameter, long shortest-path trees, the
+// workload of the SSSP delta axis in aapbench -exp compute. TrafficSim
+// (a uniform-weight grid) remains the stand-in the paper's tables use.
+func RoadNetSim(scale int) Dataset {
+	side := 150 * scale
+	return Dataset{
+		Name:   "roadnet-sim",
+		Graph:  gen.RoadNet(side, side, 131),
+		Source: 0,
+	}
+}
+
 // UKWebSim is the UKWeb stand-in: a denser directed power-law graph.
 func UKWebSim(scale int) Dataset {
 	n := 40000 * scale

@@ -1,0 +1,222 @@
+// Bucketed (delta-stepping) frontier for priority-ordered kernels.
+//
+// Buckets extends the Frontier/Marks worklist machinery with a priority
+// dimension: slots are staged into distance-range buckets of width delta
+// and drained in bucket order, so a kernel processes "almost smallest
+// first" at full shard parallelism instead of re-relaxing in arbitrary
+// (Bellman-Ford) order. The structure is deliberately lazy — it never
+// deletes an entry eagerly:
+//
+//   - where[slot] holds the lowest bucket the slot is currently staged
+//     in (CAS-min, like the kernels' atomic distance mins). An Add that
+//     does not lower it is a duplicate and stages nothing.
+//   - An entry whose bucket no longer matches where[slot] is stale (the
+//     slot was re-staged into a lower bucket when its priority improved)
+//     and is dropped when its bucket is taken.
+//   - Priorities only decrease (the kernels relax with exact mins), so a
+//     slot's live entry can only move to lower buckets, and a drained
+//     bucket never needs revisiting within a sweep.
+//
+// The contract mirrors Frontier's: TakeCur splices per-shard staging
+// lists in shard order (deterministic for a fixed shard count), and the
+// drain order cannot change the result of an exact-min fixpoint kernel —
+// only how much work it wastes. Add is safe for concurrent calls with
+// distinct shard indexes during a parallel phase; TakeCur, Advance and
+// Restart are phase boundaries and must run single-threaded.
+package par
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// bucketRing is the number of directly addressable buckets: entries
+// within [base, base+bucketRing) land in a cyclic ring slot, entries
+// beyond it spill to per-shard overflow lists and redistribute when the
+// window catches up (the classic cyclic-bucket-array trick, so a tiny
+// delta cannot force an unbounded bucket array).
+const bucketRing = 512
+
+// unstagedBucket marks a slot not currently staged in any bucket.
+const unstagedBucket = math.MaxInt32
+
+// overEntry is one spilled staging: the slot and the bucket it was
+// bound for when staged.
+type overEntry struct {
+	slot   int32
+	bucket int32
+}
+
+// Buckets is a sharded bucketed worklist over dense int32 slots in
+// [0, n) with float64 priorities.
+type Buckets struct {
+	delta  float64
+	where  []atomic.Int32 // lowest staged bucket per slot; unstagedBucket when idle
+	ring   [][]int32      // (bucket%bucketRing)*stride + shard -> staged slots
+	counts []atomic.Int32 // staged-entry count per ring bucket (Advance skip hint)
+	over   [][]overEntry  // per-shard far entries (bucket outside the ring window)
+	stride int            // shard capacity of the ring rows
+	base   int            // current (lowest undrained) bucket index
+}
+
+// NewBuckets returns an empty bucketed frontier over slots [0, n) with
+// bucket width delta (must be positive) and staging capacity for up to
+// `shards` concurrent producers.
+func NewBuckets(n, shards int, delta float64) *Buckets {
+	if shards < 1 {
+		shards = 1
+	}
+	bk := &Buckets{
+		delta:  delta,
+		where:  make([]atomic.Int32, n),
+		ring:   make([][]int32, bucketRing*shards),
+		counts: make([]atomic.Int32, bucketRing),
+		over:   make([][]overEntry, shards),
+		stride: shards,
+	}
+	for i := range bk.where {
+		bk.where[i].Store(unstagedBucket)
+	}
+	return bk
+}
+
+// Delta returns the bucket width.
+func (bk *Buckets) Delta() float64 { return bk.delta }
+
+// Cur returns the current bucket index.
+func (bk *Buckets) Cur() int { return bk.base }
+
+// EnsureShards grows the staging arrays so shards [0, k) are valid
+// producers. Not safe concurrently with Add.
+func (bk *Buckets) EnsureShards(k int) {
+	if k <= bk.stride {
+		return
+	}
+	ring := make([][]int32, bucketRing*k)
+	for b := 0; b < bucketRing; b++ {
+		copy(ring[b*k:], bk.ring[b*bk.stride:(b+1)*bk.stride])
+	}
+	bk.ring = ring
+	for len(bk.over) < k {
+		bk.over = append(bk.over, nil)
+	}
+	bk.stride = k
+}
+
+// BucketFor maps a priority to its bucket index. Priorities at or below
+// zero map to bucket 0; indexes clamp below the unstaged sentinel, so a
+// huge priority/delta ratio degrades to coarser ordering, never to a
+// wrong result.
+func (bk *Buckets) BucketFor(pri float64) int {
+	if !(pri > 0) {
+		return 0
+	}
+	b := pri / bk.delta
+	if b >= unstagedBucket-1 {
+		return unstagedBucket - 1
+	}
+	return int(b)
+}
+
+// Add stages slot with the given priority on shard w's lists and reports
+// whether it was staged (false: the slot is already staged at the same
+// or a lower bucket). Buckets below the current one clamp to it — with
+// monotonically decreasing priorities that only happens for seeds, and
+// processing a slot early never changes an exact-min fixpoint. Safe for
+// concurrent calls with distinct w.
+func (bk *Buckets) Add(w int, slot int32, pri float64) bool {
+	b := bk.BucketFor(pri)
+	if b < bk.base {
+		b = bk.base
+	}
+	if !MinInt32(&bk.where[slot], int32(b)) {
+		return false
+	}
+	if b-bk.base >= bucketRing {
+		bk.over[w] = append(bk.over[w], overEntry{slot: slot, bucket: int32(b)})
+		return true
+	}
+	bk.ring[(b%bucketRing)*bk.stride+w] = append(bk.ring[(b%bucketRing)*bk.stride+w], slot)
+	bk.counts[b%bucketRing].Add(1)
+	return true
+}
+
+// TakeCur drains the current bucket's staged slots into dst (reused when
+// it has capacity) and unstages them, dropping stale and duplicate
+// entries. An empty result means the bucket is drained; re-staging
+// during a subsequent parallel phase re-fills it (light-edge
+// re-insertion). Not safe concurrently with Add.
+func (bk *Buckets) TakeCur(dst []int32) []int32 {
+	dst = dst[:0]
+	r := bk.base % bucketRing
+	if bk.counts[r].Load() == 0 {
+		return dst
+	}
+	bk.counts[r].Store(0)
+	cur := int32(bk.base)
+	for w := 0; w < bk.stride; w++ {
+		lst := bk.ring[r*bk.stride+w]
+		for _, s := range lst {
+			if bk.where[s].Load() == cur {
+				bk.where[s].Store(unstagedBucket)
+				dst = append(dst, s)
+			}
+		}
+		bk.ring[r*bk.stride+w] = lst[:0]
+	}
+	return dst
+}
+
+// Advance moves to the next nonempty bucket and reports whether one
+// exists; false means the structure is empty (entry counts are hints, so
+// a true return can still yield an empty TakeCur when every entry of the
+// found bucket was stale — callers just advance again). When the ring
+// window is exhausted it redistributes the overflow lists: base jumps to
+// the lowest live spilled bucket and every spilled entry now inside the
+// window moves into the ring. Not safe concurrently with Add.
+func (bk *Buckets) Advance() bool {
+	for i := bk.base + 1; i < bk.base+bucketRing; i++ {
+		if bk.counts[i%bucketRing].Load() > 0 {
+			bk.base = i
+			return true
+		}
+	}
+	minb := -1
+	for w := range bk.over {
+		keep := bk.over[w][:0]
+		for _, e := range bk.over[w] {
+			if bk.where[e.slot].Load() != e.bucket {
+				continue // re-staged lower and already drained: stale
+			}
+			keep = append(keep, e)
+			if minb < 0 || int(e.bucket) < minb {
+				minb = int(e.bucket)
+			}
+		}
+		bk.over[w] = keep
+	}
+	if minb < 0 {
+		return false
+	}
+	bk.base = minb
+	for w := range bk.over {
+		keep := bk.over[w][:0]
+		for _, e := range bk.over[w] {
+			if int(e.bucket)-bk.base >= bucketRing {
+				keep = append(keep, e)
+				continue
+			}
+			r := int(e.bucket) % bucketRing
+			bk.ring[r*bk.stride+w] = append(bk.ring[r*bk.stride+w], e.slot)
+			bk.counts[r].Add(1)
+		}
+		bk.over[w] = keep
+	}
+	return true
+}
+
+// Restart re-aims the window at the bucket of minPri so a drained
+// structure can be re-seeded below the old base (incremental rounds
+// re-seed from message distances). It must only be called when the
+// structure is empty.
+func (bk *Buckets) Restart(minPri float64) { bk.base = bk.BucketFor(minPri) }

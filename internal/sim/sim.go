@@ -81,6 +81,11 @@ type Result[T any] struct {
 
 // Run simulates job over p under cfg and returns the assembled result.
 func Run[T any](p *partition.Partitioned, job core.Job[T], cfg Config) (*Result[T], error) {
+	if job.Validate != nil {
+		if err := job.Validate(p); err != nil {
+			return nil, err
+		}
+	}
 	cfg = cfg.withDefaults()
 	s := newSim(p, job, cfg)
 	if err := s.run(); err != nil {
