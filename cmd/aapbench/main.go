@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aapbench -exp table1|fig1|fig6a..fig6h|fig6i|fig6j|fig6k|fig6l|fig7|exp2|cfcase|ingest|all
+//	aapbench -exp table1|fig1|fig6a..fig6h|fig6i|fig6j|fig6k|fig6l|fig7|exp2|cfcase|ingest|chaos|all
 //	aapbench -exp fig6b -workers 64,96,128,160,192
 //	aapbench -exp fig6b -cpuprofile cpu.pprof -memprofile mem.pprof
 //	aapbench -exp ingest -input graph.txt
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig1, fig6a..fig6l, fig7, exp2, cfcase, ingest, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig1, fig6a..fig6l, fig7, exp2, cfcase, ingest, chaos, all)")
 	workersFlag := flag.String("workers", "16,32,48,64", "comma-separated worker counts for figure sweeps")
 	tableWorkers := flag.Int("table-workers", 32, "worker count for table1/exp2")
 	input := flag.String("input", "", "edge-list file for -exp ingest (default: generated stand-ins)")
@@ -103,6 +103,7 @@ func run(exp string, workers []int, tableWorkers int, input string, ssspDelta fl
 		"fig7":    harness.Fig7,
 		"exp2":    func() (string, error) { return harness.Exp2Comm(tableWorkers) },
 		"cfcase":  harness.CFCase,
+		"chaos":   func() (string, error) { return harness.Chaos(tableWorkers, harness.ChaosSeeds) },
 	}
 	for _, p := range harness.Fig6Panels() {
 		p := p
@@ -114,7 +115,7 @@ func run(exp string, workers []int, tableWorkers int, input string, ssspDelta fl
 		names = []string{
 			"table1", "fig1",
 			"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h",
-			"fig6i", "fig6j", "fig6k", "fig6l", "exp2", "fig7", "cfcase", "ingest", "compute",
+			"fig6i", "fig6j", "fig6k", "fig6l", "exp2", "fig7", "cfcase", "ingest", "compute", "chaos",
 		}
 	}
 	for _, name := range names {

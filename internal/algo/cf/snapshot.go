@@ -1,0 +1,59 @@
+package cf
+
+// Checkpoint support (core.Snapshotter): the durable state is the
+// factor matrix plus the epoch/convergence bookkeeping. weight and
+// edges are derived from the static rating graph in newProgram and
+// never change, so they are not serialized. A slot whose factor vector
+// was never initialized (no incident ratings) stays nil; a presence
+// flag per slot preserves that distinction across the round trip.
+
+import (
+	"fmt"
+
+	"aap/internal/codec"
+)
+
+// SnapshotState serializes the CF kernel's durable state.
+func (p *program) SnapshotState() []byte {
+	buf := make([]byte, 0, (1+8*p.cfg.Rank+4)*len(p.factor)+32)
+	buf = codec.AppendUint32(buf, uint32(len(p.factor)))
+	for _, f := range p.factor {
+		buf = codec.AppendBool(buf, f != nil)
+		if f != nil {
+			buf = codec.AppendFloat64s(buf, f)
+		}
+	}
+	buf = codec.AppendInt64(buf, int64(p.epochs))
+	buf = codec.AppendFloat64(buf, p.lastRMSE)
+	buf = codec.AppendBool(buf, p.converged)
+	return buf
+}
+
+// RestoreState rewinds the CF kernel to a snapshot.
+func (p *program) RestoreState(data []byte) error {
+	r := codec.NewReader(data)
+	n := int(r.Uint32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(p.factor) {
+		return fmt.Errorf("cf: snapshot has %d slots, fragment has %d", n, len(p.factor))
+	}
+	factor := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			factor[i] = r.Float64s()
+		}
+	}
+	epochs := r.Int64()
+	lastRMSE := r.Float64()
+	converged := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	copy(p.factor, factor)
+	p.epochs = int(epochs)
+	p.lastRMSE = lastRMSE
+	p.converged = converged
+	return nil
+}

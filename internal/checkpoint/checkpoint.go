@@ -2,172 +2,236 @@
 // (Section 6 of the paper): GRAPE+ adapts them for fault tolerance
 // because asynchronous runs have no superstep boundary to check-point at.
 //
-// The protocol here is the one the paper describes: the master broadcasts
-// a checkpoint request carrying a token; a worker that sees the token for
-// the first time records its local state before sending any further
-// messages and attaches the token to subsequent messages; messages that
-// arrive late without the token are added to the snapshot as in-flight
-// channel state. The resulting global state is consistent: no message is
-// lost or duplicated across the cut.
+// The protocol is the paper's: the master broadcasts a checkpoint
+// request carrying a token (here an epoch number); a worker that sees
+// the token for the first time records its local state before sending
+// any further messages and stamps subsequent messages with the new
+// epoch; messages that arrive late without the token are added to the
+// snapshot as in-flight channel state. The resulting global state is
+// consistent: no message is lost or duplicated across the cut.
+//
+// Store is the collector half of that protocol, generic over the
+// message type so the engine can snapshot real designated-message
+// batches. The engine side supplies the marker discipline: stamp every
+// batch with the sender's epoch at handoff, record a worker's cut
+// before delivering any batch stamped with a newer epoch, and report
+// every batch's lifecycle (BatchSent at handoff, BatchDrained at
+// delivery) so the Store knows when no pre-cut message can still be in
+// flight and the epoch can seal.
 package checkpoint
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
-// Message is an application payload in transit between processes.
-type Message struct {
-	From, To int
-	Value    int64
-	// token marks messages sent after the sender recorded its snapshot
-	// for this epoch.
-	token int32
+// Flight is channel state crossing the cut: messages that were sent
+// before the sender recorded epoch e but drained after the receiver
+// did. On recovery they are re-injected through the normal inbox path.
+type Flight[M any] struct {
+	From, To int32
+	Msgs     []M
 }
 
-// Process is a participant in the snapshot protocol. Applications embed
-// their state as a single int64 here (the tests use account balances and
-// PageRank-style mass); real engines would serialize program state.
-type Process struct {
-	ID    int
-	State int64
-
-	mu        sync.Mutex
-	recorded  bool
-	snapState int64
-	inFlight  []Message
-	epoch     int32
+// Snapshot is a consistent global state: per-worker serialized program
+// state, per-worker round counters, and the in-flight messages across
+// the cut.
+type Snapshot[M any] struct {
+	Epoch     int32
+	States    [][]byte
+	Rounds    []int32
+	PEvalDone []bool
+	InFlight  []Flight[M]
 }
 
-// Snapshot is a recorded consistent global state.
-type Snapshot struct {
-	Epoch  int32
-	States []int64
-	// InFlight holds the channel state: messages crossing the cut.
-	InFlight []Message
-}
-
-// Total returns the conserved quantity of a snapshot: the sum of process
-// states plus in-flight values, the invariant the tests check.
-func (s *Snapshot) Total() int64 {
-	var t int64
-	for _, v := range s.States {
-		t += v
+// Bytes returns the serialized size of the snapshot's program state,
+// the figure reported as bytes/snapshot overhead.
+func (s *Snapshot[M]) Bytes() int {
+	n := 0
+	for _, st := range s.States {
+		n += len(st)
 	}
-	for _, m := range s.InFlight {
-		t += m.Value
+	return n
+}
+
+// Store assembles snapshots for one run. One epoch is in flight at a
+// time: Announce refuses to start epoch e+1 until epoch e has sealed,
+// which keeps the marker algebra trivial (every live batch is stamped
+// with either the pending epoch or the one before it).
+type Store[M any] struct {
+	announced atomic.Int32 // highest epoch announced; workers poll this
+
+	mu          sync.Mutex
+	n           int
+	recorded    []int32       // per-worker highest epoch recorded
+	pending     *Snapshot[M]  // epoch being assembled
+	sealed      *Snapshot[M]  // last complete snapshot
+	sealedEpoch atomic.Int32  // == sealed.Epoch, lock-free read
+	outstanding map[int32]int // handed-off-not-yet-drained batches per stamp
+
+	sealedCount atomic.Int64 // snapshots sealed over the run
+	sealedBytes atomic.Int64 // cumulative serialized state bytes sealed
+}
+
+// SealedCount returns how many snapshots have sealed over the run.
+func (s *Store[M]) SealedCount() int64 { return s.sealedCount.Load() }
+
+// SealedBytes returns the cumulative serialized program-state bytes of
+// all sealed snapshots, the numerator of the bytes/snapshot overhead.
+func (s *Store[M]) SealedBytes() int64 { return s.sealedBytes.Load() }
+
+// NewStore creates a store for n workers. Epoch 0 means "no snapshot":
+// recovery from epoch 0 is a fresh restart.
+func NewStore[M any](n int) *Store[M] {
+	return &Store[M]{
+		n:           n,
+		recorded:    make([]int32, n),
+		outstanding: make(map[int32]int),
 	}
-	return t
 }
 
-// Coordinator runs the protocol over a set of processes connected by
-// in-memory channels. It plays both the master (broadcasting the request)
-// and the collector.
-type Coordinator struct {
-	mu    sync.Mutex
-	procs []*Process
-	epoch int32
-}
-
-// NewCoordinator creates a coordinator over n processes with the given
-// initial states.
-func NewCoordinator(states []int64) *Coordinator {
-	c := &Coordinator{}
-	for i, s := range states {
-		c.procs = append(c.procs, &Process{ID: i, State: s})
+// Announce begins snapshot epoch e+1 and returns it. It refuses while
+// the previous epoch is still recording (ok=false), so callers simply
+// retry at the next boundary.
+func (s *Store[M]) Announce() (int32, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending != nil {
+		return 0, false
 	}
-	return c
-}
-
-// Process returns process i.
-func (c *Coordinator) Process(i int) *Process { return c.procs[i] }
-
-// NumProcesses returns the number of participants.
-func (c *Coordinator) NumProcesses() int { return len(c.procs) }
-
-// Send transfers value units from process `from` to `to`, stamping the
-// message with the sender's epoch. It models the point-to-point push
-// channels of the engine.
-func (c *Coordinator) Send(from, to int, value int64) Message {
-	p := c.procs[from]
-	p.mu.Lock()
-	p.State -= value
-	m := Message{From: from, To: to, Value: value, token: p.epoch}
-	p.mu.Unlock()
-	return m
-}
-
-// Deliver applies a message at its destination. If the receiver has
-// recorded the current epoch's snapshot but the message predates the
-// sender's snapshot (no token), the message is added to the snapshot's
-// channel state, exactly the "late messages without the token" rule of
-// Section 6.
-func (c *Coordinator) Deliver(m Message) {
-	p := c.procs[m.To]
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.recorded && m.token < p.epoch {
-		p.inFlight = append(p.inFlight, m)
+	e := s.announced.Load() + 1
+	s.pending = &Snapshot[M]{
+		Epoch:     e,
+		States:    make([][]byte, s.n),
+		Rounds:    make([]int32, s.n),
+		PEvalDone: make([]bool, s.n),
 	}
-	p.State += m.Value
+	s.announced.Store(e)
+	return e, true
 }
 
-// BeginSnapshot broadcasts the checkpoint request: every process records
-// its state before its next send. It returns the new epoch.
-func (c *Coordinator) BeginSnapshot() int32 {
-	c.mu.Lock()
-	c.epoch++
-	epoch := c.epoch
-	c.mu.Unlock()
-	for _, p := range c.procs {
-		p.mu.Lock()
-		if p.epoch < epoch {
-			p.epoch = epoch
-			p.recorded = true
-			p.snapState = p.State
-			p.inFlight = nil
+// AnnouncedEpoch returns the highest announced epoch; workers compare
+// it against their own recorded epoch at safe points.
+func (s *Store[M]) AnnouncedEpoch() int32 { return s.announced.Load() }
+
+// SealedEpoch returns the epoch of the last complete snapshot, 0 if
+// none has sealed yet.
+func (s *Store[M]) SealedEpoch() int32 { return s.sealedEpoch.Load() }
+
+// Record stores worker w's local cut for epoch: its serialized program
+// state, round counter, whether PEval has run, and the pre-cut messages
+// sitting in its buffer at record time (already part of the channel
+// state — the engine guarantees the buffer holds no post-cut message
+// when it records). The Store takes ownership of state and flights.
+func (s *Store[M]) Record(w, epoch int32, state []byte, rounds int32, pevalDone bool, inFlight []Flight[M]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil || s.pending.Epoch != epoch {
+		return fmt.Errorf("checkpoint: record for epoch %d but pending is %v", epoch, s.pendingEpochLocked())
+	}
+	if s.recorded[w] >= epoch {
+		return fmt.Errorf("checkpoint: worker %d already recorded epoch %d", w, epoch)
+	}
+	s.recorded[w] = epoch
+	s.pending.States[w] = state
+	s.pending.Rounds[w] = rounds
+	s.pending.PEvalDone[w] = pevalDone
+	s.pending.InFlight = append(s.pending.InFlight, inFlight...)
+	s.trySealLocked()
+	return nil
+}
+
+// Capture adds a late batch to the pending snapshot's channel state: it
+// was stamped before the sender's cut but drained after the receiver's.
+// The caller must pass copies (the engine recycles batch slices) and
+// must call Capture before BatchDrained for the same batch.
+func (s *Store[M]) Capture(f Flight[M]) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending != nil {
+		s.pending.InFlight = append(s.pending.InFlight, f)
+	}
+}
+
+// BatchSent records that a batch stamped with the sender's epoch was
+// handed off for delivery.
+func (s *Store[M]) BatchSent(stamp int32) {
+	s.mu.Lock()
+	s.outstanding[stamp]++
+	s.mu.Unlock()
+}
+
+// BatchDrained records that a batch stamped stamp was consumed (or
+// dropped by fault injection); once no batch stamped before the pending
+// epoch remains outstanding and every worker has recorded, the epoch
+// seals.
+func (s *Store[M]) BatchDrained(stamp int32) {
+	s.mu.Lock()
+	if s.outstanding[stamp]--; s.outstanding[stamp] <= 0 {
+		delete(s.outstanding, stamp)
+	}
+	s.trySealLocked()
+	s.mu.Unlock()
+}
+
+// Sealed returns the last complete snapshot, nil if none has sealed.
+// The snapshot is shared: callers must copy message slices before
+// mutating or re-injecting them.
+func (s *Store[M]) Sealed() *Snapshot[M] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealed
+}
+
+// Reset abandons any pending epoch and forgets outstanding batches;
+// recovery calls it after a rollback destroys every in-flight message.
+// The announced epoch rewinds to the sealed one so stamping resumes
+// consistently and the next Announce starts a fresh epoch.
+func (s *Store[M]) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = nil
+	s.outstanding = make(map[int32]int)
+	e := int32(0)
+	if s.sealed != nil {
+		e = s.sealed.Epoch
+	}
+	s.announced.Store(e)
+	for i := range s.recorded {
+		s.recorded[i] = e
+	}
+}
+
+func (s *Store[M]) pendingEpochLocked() interface{} {
+	if s.pending == nil {
+		return nil
+	}
+	return s.pending.Epoch
+}
+
+// trySealLocked promotes the pending snapshot once (a) every worker has
+// recorded it and (b) no batch stamped with an earlier epoch is still
+// outstanding — the Chandy-Lamport completion condition: all channel
+// state has been captured.
+func (s *Store[M]) trySealLocked() {
+	if s.pending == nil {
+		return
+	}
+	e := s.pending.Epoch
+	for _, r := range s.recorded {
+		if r < e {
+			return
 		}
-		p.mu.Unlock()
 	}
-	return epoch
-}
-
-// Collect assembles the snapshot once the application has quiesced or
-// decides the channel-recording window is over.
-func (c *Coordinator) Collect() *Snapshot {
-	c.mu.Lock()
-	epoch := c.epoch
-	c.mu.Unlock()
-	snap := &Snapshot{Epoch: epoch}
-	for _, p := range c.procs {
-		p.mu.Lock()
-		if !p.recorded {
-			p.mu.Unlock()
-			snap.States = append(snap.States, p.State)
-			continue
+	for stamp, n := range s.outstanding {
+		if stamp < e && n > 0 {
+			return
 		}
-		snap.States = append(snap.States, p.snapState)
-		snap.InFlight = append(snap.InFlight, p.inFlight...)
-		p.recorded = false
-		p.inFlight = nil
-		p.mu.Unlock()
 	}
-	return snap
-}
-
-// Restore resets every process to the snapshot state and returns the
-// in-flight messages that must be redelivered, the recovery path the
-// paper measured at ~20 seconds per worker failure.
-func (c *Coordinator) Restore(s *Snapshot) ([]Message, error) {
-	if len(s.States) != len(c.procs) {
-		return nil, fmt.Errorf("checkpoint: snapshot has %d states for %d processes", len(s.States), len(c.procs))
-	}
-	for i, p := range c.procs {
-		p.mu.Lock()
-		p.State = s.States[i]
-		p.recorded = false
-		p.inFlight = nil
-		p.mu.Unlock()
-	}
-	return append([]Message(nil), s.InFlight...), nil
+	s.sealed = s.pending
+	s.pending = nil
+	s.sealedEpoch.Store(e)
+	s.sealedCount.Add(1)
+	s.sealedBytes.Add(int64(s.sealed.Bytes()))
 }

@@ -25,11 +25,57 @@ func AppendFloat64(dst []byte, v float64) []byte {
 	return AppendUint64(dst, math.Float64bits(v))
 }
 
+// AppendInt32 appends v as its two's-complement uint32 bits.
+func AppendInt32(dst []byte, v int32) []byte {
+	return AppendUint32(dst, uint32(v))
+}
+
+// AppendInt64 appends v as its two's-complement uint64 bits.
+func AppendInt64(dst []byte, v int64) []byte {
+	return AppendUint64(dst, uint64(v))
+}
+
+// AppendBool appends v as one byte (0 or 1).
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
 // AppendFloat64s appends a length-prefixed vector.
 func AppendFloat64s(dst []byte, vs []float64) []byte {
 	dst = AppendUint32(dst, uint32(len(vs)))
 	for _, v := range vs {
 		dst = AppendFloat64(dst, v)
+	}
+	return dst
+}
+
+// AppendUint64s appends a length-prefixed vector of raw uint64 words
+// (the byte-stable form checkpoints use for atomic float bits).
+func AppendUint64s(dst []byte, vs []uint64) []byte {
+	dst = AppendUint32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// AppendInt32s appends a length-prefixed vector.
+func AppendInt32s(dst []byte, vs []int32) []byte {
+	dst = AppendUint32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = AppendInt32(dst, v)
+	}
+	return dst
+}
+
+// AppendInt64s appends a length-prefixed vector.
+func AppendInt64s(dst []byte, vs []int64) []byte {
+	dst = AppendUint32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = AppendInt64(dst, v)
 	}
 	return dst
 }
@@ -87,18 +133,85 @@ func (r *Reader) Uint64() uint64 {
 	return v
 }
 
+// Int32 decodes a two's-complement int32.
+func (r *Reader) Int32() int32 { return int32(r.Uint32()) }
+
+// Int64 decodes a two's-complement int64.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Bool decodes one byte as a boolean; any nonzero value is true.
+func (r *Reader) Bool() bool {
+	if !r.need(1) {
+		return false
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v != 0
+}
+
 // Float64 decodes an IEEE-754 float.
 func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
 
+// vecLen decodes a vector's length prefix and verifies the payload is
+// actually present before the caller allocates — the header-lie guard:
+// a corrupted or malicious prefix claiming 2^32 elements fails here with
+// a truncation error instead of forcing a giant allocation.
+func (r *Reader) vecLen(elemBytes int) (int, bool) {
+	n := r.Uint32()
+	if r.err != nil || !r.need(int(n)*elemBytes) {
+		return 0, false
+	}
+	return int(n), true
+}
+
 // Float64s decodes a length-prefixed vector.
 func (r *Reader) Float64s() []float64 {
-	n := r.Uint32()
-	if r.err != nil || !r.need(int(n)*8) {
+	n, ok := r.vecLen(8)
+	if !ok {
 		return nil
 	}
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = r.Float64()
+	}
+	return out
+}
+
+// Uint64s decodes a length-prefixed vector of raw uint64 words.
+func (r *Reader) Uint64s() []uint64 {
+	n, ok := r.vecLen(8)
+	if !ok {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+// Int32s decodes a length-prefixed vector.
+func (r *Reader) Int32s() []int32 {
+	n, ok := r.vecLen(4)
+	if !ok {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.Int32()
+	}
+	return out
+}
+
+// Int64s decodes a length-prefixed vector.
+func (r *Reader) Int64s() []int64 {
+	n, ok := r.vecLen(8)
+	if !ok {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Int64()
 	}
 	return out
 }

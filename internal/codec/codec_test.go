@@ -40,6 +40,40 @@ func TestRoundTripScalars(t *testing.T) {
 	}
 }
 
+func TestRoundTripIntsAndBools(t *testing.T) {
+	var buf []byte
+	buf = codec.AppendInt32(buf, -42)
+	buf = codec.AppendInt64(buf, -1<<40)
+	buf = codec.AppendBool(buf, true)
+	buf = codec.AppendBool(buf, false)
+	buf = codec.AppendUint64s(buf, []uint64{0, 1, 1 << 63})
+	buf = codec.AppendInt32s(buf, []int32{-1, 0, 1})
+	buf = codec.AppendInt64s(buf, []int64{-9, 1 << 50})
+
+	r := codec.NewReader(buf)
+	if got := r.Int32(); got != -42 {
+		t.Errorf("Int32 = %d", got)
+	}
+	if got := r.Int64(); got != -1<<40 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if vs := r.Uint64s(); len(vs) != 3 || vs[2] != 1<<63 {
+		t.Errorf("Uint64s = %v", vs)
+	}
+	if vs := r.Int32s(); len(vs) != 3 || vs[0] != -1 {
+		t.Errorf("Int32s = %v", vs)
+	}
+	if vs := r.Int64s(); len(vs) != 2 || vs[1] != 1<<50 {
+		t.Errorf("Int64s = %v", vs)
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Errorf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
 func TestTruncatedInput(t *testing.T) {
 	buf := codec.AppendUint64(nil, 7)
 	r := codec.NewReader(buf[:4])

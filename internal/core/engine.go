@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aap/internal/checkpoint"
 	"aap/internal/partition"
 )
 
@@ -39,6 +41,17 @@ type Options struct {
 	Timeout time.Duration
 	// HsyncWindow is the phase length, in global rounds, of Hsync mode.
 	HsyncWindow int32
+	// Checkpoint enables Chandy-Lamport snapshots; requires every
+	// Program of the job to implement Snapshotter.
+	Checkpoint CheckpointOptions
+	// Faults, when non-nil, injects the configured deterministic fault
+	// schedule (worker kill/stall, message delay/duplicate/drop).
+	Faults *Faults
+	// Deadline, when positive, force-finishes the run after this wall
+	// time: Run returns the partial Result plus an error wrapping
+	// context.DeadlineExceeded, instead of the nil Result a Timeout
+	// abort produces.
+	Deadline time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -80,6 +93,15 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 	if opts.Mode == Hsync {
 		e.hsync = newHsyncState(opts.HsyncWindow)
 	}
+	if opts.Checkpoint.EveryRounds > 0 {
+		e.ckpt = checkpoint.NewStore[VMsg[T]](p.M)
+	}
+	if opts.Faults != nil {
+		e.inj = newFaultInjector(*opts.Faults, p.M)
+	}
+	if e.ckpt != nil || e.inj != nil {
+		e.recov = &recovery[T]{e: e}
+	}
 	e.workers = make([]*worker[T], p.M)
 	for i, f := range p.Frags {
 		w := &worker[T]{
@@ -96,10 +118,17 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 		}
 		w.inbox.notify = make(chan struct{}, 1)
 		w.progress = make(chan struct{}, 1)
-		w.flushCh = make(chan [][]VMsg[T], 1)
+		w.flushCh = make(chan flushOut[T], 1)
 		w.spareCh = make(chan [][]VMsg[T], 2)
 		w.frng = rand.New(rand.NewSource(opts.Seed + int64(i)*7919 + 104729))
 		e.workers[i] = w
+	}
+	if e.ckpt != nil {
+		for _, w := range e.workers {
+			if _, ok := w.prog.(Snapshotter); !ok {
+				return nil, fmt.Errorf("core: %s: checkpointing requires the Program to implement core.Snapshotter", job.Name)
+			}
+		}
 	}
 
 	start := time.Now()
@@ -119,14 +148,27 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 
 	timer := time.NewTimer(opts.Timeout)
 	defer timer.Stop()
+	var deadlineC <-chan time.Time
+	if opts.Deadline > 0 {
+		dt := time.NewTimer(opts.Deadline)
+		defer dt.Stop()
+		deadlineC = dt.C
+	}
+	deadlined := false
 	select {
 	case <-e.coord.doneCh():
+	case <-deadlineC:
+		deadlined = true
+		e.coord.forceDone()
 	case <-timer.C:
 		e.fail(fmt.Errorf("core: %s/%s timed out after %v", job.Name, opts.Mode, opts.Timeout))
 	}
 	close(e.done)
 	wg.Wait()
 	fwg.Wait() // flushers own BytesSent; join before reading stats
+	if e.recov != nil {
+		e.recov.wg.Wait() // a mid-flight rollback mutates worker state
+	}
 	if err := e.err(); err != nil {
 		return nil, err
 	}
@@ -137,12 +179,22 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 		stats.Workers[i] = w.stats
 	}
 	stats.finalize()
+	if e.ckpt != nil {
+		stats.Checkpoints = e.ckpt.SealedCount()
+		stats.CheckpointBytes = e.ckpt.SealedBytes()
+	}
+	stats.Recoveries = e.recoveries.Load()
+	stats.RecoverySeconds = float64(e.recoveryNanos.Load()) / 1e9
 
 	progs := make([]Program[T], p.M)
 	for i, w := range e.workers {
 		progs[i] = w.prog
 	}
-	return &Result[T]{Values: Assemble(p, progs, job), Stats: stats}, nil
+	res := &Result[T]{Values: Assemble(p, progs, job), Stats: stats}
+	if deadlined {
+		return res, fmt.Errorf("core: %s/%s exceeded deadline %v: %w", job.Name, opts.Mode, opts.Deadline, context.DeadlineExceeded)
+	}
+	return res, nil
 }
 
 // engine holds the shared state of one run.
@@ -159,6 +211,17 @@ type engine[T any] struct {
 
 	rates      []uint64 // per-worker arrival-rate EWMA as float bits
 	roundTimes []uint64 // per-worker round-time EWMA as float bits
+
+	// Fault-tolerance plane, all nil/zero when disabled.
+	ckpt  *checkpoint.Store[VMsg[T]]
+	recov *recovery[T]
+	inj   *faultInjector
+	// undelivered counts batches between flush handoff and inbox.put
+	// (including time.AfterFunc latency limbo); recovery's quiesce
+	// waits for it to reach zero before rewriting state.
+	undelivered   atomic.Int64
+	recoveries    atomic.Int64
+	recoveryNanos atomic.Int64
 
 	errMu  sync.Mutex
 	runErr error
@@ -200,8 +263,13 @@ func (e *engine[T]) avgRoundTime() float64 {
 // so each flusher uses its own random stream. The batch was already
 // counted as sent by the worker at flush handoff, which is what keeps
 // the termination check sound while delivery runs in the background.
-func (e *engine[T]) deliver(from, to int, msgs []VMsg[T], extra time.Duration) {
-	put := func() { e.workers[to].inbox.put(batch[T]{from: int32(from), msgs: msgs}) }
+// epoch is the sender's snapshot epoch at handoff — the Chandy-Lamport
+// marker the receiver compares against its own cut.
+func (e *engine[T]) deliver(from, to int, epoch int32, msgs []VMsg[T], extra time.Duration) {
+	put := func() {
+		e.workers[to].inbox.put(batch[T]{from: int32(from), epoch: epoch, msgs: msgs})
+		e.undelivered.Add(-1)
+	}
 	d := e.opts.Latency + extra
 	if d > 0 {
 		time.AfterFunc(d, put)
@@ -211,10 +279,12 @@ func (e *engine[T]) deliver(from, to int, msgs []VMsg[T], extra time.Duration) {
 }
 
 // batch is one designated message M(i, j): the update-parameter changes
-// shipped from worker i to worker j after a round.
+// shipped from worker i to worker j after a round, stamped with the
+// sender's snapshot epoch at handoff.
 type batch[T any] struct {
-	from int32
-	msgs []VMsg[T]
+	from  int32
+	epoch int32
+	msgs  []VMsg[T]
 }
 
 // inbox is the unbounded mailbox B_x̄i of a worker. put never blocks, so
@@ -315,6 +385,23 @@ func (c *coordinator) roundDone(id int) int32 {
 func (c *coordinator) addSent(n int64)     { c.sent.Add(n) }
 func (c *coordinator) addConsumed(n int64) { c.consumed.Add(n) }
 
+// reset rewinds the coordinator to a recovery cut: per-worker round
+// counters from the snapshot, every worker active, and the Mattern
+// counters zeroed (the rollback re-adds the replayed in-flight
+// messages as sent). Only called while every worker is parked, so no
+// concurrent transition can race the wholesale rewrite.
+func (c *coordinator) reset(rounds []int32) {
+	c.mu.Lock()
+	for i := range c.rounds {
+		c.rounds[i].Store(rounds[i])
+		c.active[i].Store(true)
+	}
+	c.activeN.Store(int32(len(c.rounds)))
+	c.sent.Store(0)
+	c.consumed.Store(0)
+	c.mu.Unlock()
+}
+
 func (c *coordinator) setActive(id int, active bool) {
 	c.mu.Lock()
 	if c.active[id].Load() != active {
@@ -366,19 +453,59 @@ func (e *engine[T]) broadcastProgress() {
 	}
 }
 
+// flushOut is one round's handoff from worker to flusher: the
+// per-destination batches plus the sender's snapshot epoch at handoff.
+type flushOut[T any] struct {
+	out   [][]VMsg[T]
+	epoch int32
+}
+
 // flusher is the per-worker delivery goroutine: it prices and ships the
 // batches of a finished round while the worker computes the next one.
-// Only the flusher touches stats.BytesSent; Run joins the flushers
-// before reading stats.
+// Delivery faults (drop/duplicate/delay) are injected here, at the
+// boundary between handoff and inbox — the engine's stand-in for the
+// network. Only the flusher touches stats.BytesSent; Run joins the
+// flushers before reading stats.
 func (w *worker[T]) flusher() {
 	e := w.eng
 	for {
 		select {
-		case out := <-w.flushCh:
+		case fo := <-w.flushCh:
+			out := fo.out
 			var bytes int64
 			for j, msgs := range out {
 				if len(msgs) == 0 {
 					continue
+				}
+				var fdelay time.Duration
+				if e.inj != nil {
+					drop, dup, d := e.inj.delivery(w.id)
+					fdelay = d
+					if drop {
+						// The batch was pre-counted as sent at handoff
+						// and will never drain: balance the Mattern
+						// counter and the checkpoint outstanding count
+						// so termination and sealing stay live.
+						e.undelivered.Add(-1)
+						e.coord.addConsumed(int64(len(msgs)))
+						if e.ckpt != nil {
+							e.ckpt.BatchDrained(fo.epoch)
+						}
+						e.pool.put(msgs)
+						continue
+					}
+					if dup {
+						// Receivers recycle drained slices, so the
+						// duplicate needs its own copy; it is accounted
+						// exactly like a real batch.
+						cp := append([]VMsg[T](nil), msgs...)
+						e.undelivered.Add(1)
+						e.coord.addSent(int64(len(cp)))
+						if e.ckpt != nil {
+							e.ckpt.BatchSent(fo.epoch)
+						}
+						e.deliver(w.id, j, fo.epoch, cp, fdelay)
+					}
 				}
 				for _, m := range msgs {
 					bytes += int64(e.job.valueBytes(m.Val))
@@ -387,7 +514,7 @@ func (w *worker[T]) flusher() {
 				if e.opts.Jitter > 0 {
 					extra = time.Duration(w.frng.Int63n(int64(e.opts.Jitter)))
 				}
-				e.deliver(w.id, j, msgs, extra)
+				e.deliver(w.id, j, fo.epoch, msgs, extra+fdelay)
 			}
 			w.stats.BytesSent += bytes
 			clear(out)
@@ -431,12 +558,20 @@ type worker[T any] struct {
 
 	// flushCh hands a finished round's outgoing batches to the worker's
 	// flusher goroutine, overlapping delivery (byte accounting, jitter,
-	// inbox puts) with the next round's compute. spareCh returns the
-	// drained outer array for reuse. frng is the flusher's own jitter
-	// stream so the two goroutines never share a rand.Rand.
-	flushCh chan [][]VMsg[T]
+	// inbox puts) with the next round's compute. The epoch rides along
+	// because the worker may record a new cut between the handoff and
+	// the flusher shipping the batches — the stamp must be the one in
+	// force at handoff. spareCh returns the drained outer array for
+	// reuse. frng is the flusher's own jitter stream so the two
+	// goroutines never share a rand.Rand.
+	flushCh chan flushOut[T]
 	spareCh chan [][]VMsg[T]
 	frng    *rand.Rand
+
+	// epoch is the worker's recorded snapshot epoch; pevalDone flips
+	// when PEval has run, and is cleared by a from-scratch rollback.
+	epoch     int32
+	pevalDone bool
 
 	stats         WorkerStats
 	rounds        int32
@@ -457,14 +592,35 @@ const (
 )
 
 func (w *worker[T]) run() {
+	// Contain kernel panics: a Program blowing up must fail the run
+	// with a diagnosable error, not kill the process. The worker exits
+	// cleanly (its deferred wg.Done still runs) and fail() unblocks
+	// everyone else through e.done.
+	defer func() {
+		if p := recover(); p != nil {
+			e := w.eng
+			e.fail(fmt.Errorf("core: %s/%s worker %d panicked at round %d: %v", e.job.Name, e.opts.Mode, w.id, w.rounds, p))
+		}
+	}()
 	w.isActive = true
 	w.lastDrain = time.Now()
-	w.execRound(true)
 	for {
 		select {
 		case <-w.eng.done:
 			return
 		default:
+		}
+		// Safe point: park for a recovery quiesce, record an announced
+		// snapshot epoch, fire scheduled faults. PEval runs through the
+		// loop (not ahead of it) so a from-scratch rollback can demand
+		// it again by clearing pevalDone.
+		if !w.safepoint() {
+			return
+		}
+		if !w.pevalDone {
+			w.pevalDone = true
+			w.execRound(true)
+			continue
 		}
 		w.drain()
 		if len(w.buffer) == 0 {
@@ -479,7 +635,11 @@ func (w *worker[T]) run() {
 			// would also re-broadcast from setActive, and with delivery
 			// running on the flusher goroutines those echo waves can
 			// rotate through the workers indefinitely, keeping activeN
-			// above zero at every termination check.
+			// above zero at every termination check. The exception is
+			// fault-tolerance business (a quiesce to park for, an epoch
+			// to record): progress wakes check for it explicitly, or an
+			// idle worker would never reach a safe point and recovery
+			// (or epoch sealing) would stall forever.
 			stay := true
 			for stay {
 				switch w.wait(Forever) {
@@ -487,6 +647,10 @@ func (w *worker[T]) run() {
 					return
 				case wakeMsg:
 					stay = false
+				case wakeProgress:
+					if w.interrupted() {
+						stay = false
+					}
 				}
 			}
 			w.setActive(true)
@@ -568,6 +732,23 @@ func (w *worker[T]) drain() {
 	}
 	n := 0
 	for _, b := range bs {
+		if w.eng.ckpt != nil {
+			// Marker rule: a batch stamped with a newer epoch is the
+			// first sign of that snapshot — record the cut before the
+			// batch touches the buffer, so the captured buffer holds
+			// only pre-cut messages. A batch stamped with an older
+			// epoch is a late message without the token: copy it into
+			// the snapshot's channel state, then process it normally.
+			if b.epoch > w.epoch {
+				w.record(b.epoch)
+			}
+			if b.epoch < w.epoch {
+				w.eng.ckpt.Capture(checkpoint.Flight[VMsg[T]]{
+					From: b.from, To: int32(w.id),
+					Msgs: append([]VMsg[T](nil), b.msgs...),
+				})
+			}
+		}
 		n += len(b.msgs)
 		w.buffer = append(w.buffer, b.msgs...)
 		if w.originSeen[b.from] != w.originGen {
@@ -575,6 +756,9 @@ func (w *worker[T]) drain() {
 			w.originCnt++
 		}
 		w.eng.pool.put(b.msgs)
+		if w.eng.ckpt != nil {
+			w.eng.ckpt.BatchDrained(b.epoch)
+		}
 	}
 	w.inbox.release(bs)
 	w.stats.MsgsRecv += int64(n)
@@ -668,20 +852,49 @@ func (w *worker[T]) execRound(peval bool) {
 		// flusher: the worker may flag itself inactive while delivery is
 		// still in flight, and the termination check (all inactive ∧
 		// sent == consumed) only stays sound if undelivered messages
-		// keep sent ahead of consumed.
+		// keep sent ahead of consumed. The same pre-accounting covers
+		// the snapshot plane: each non-empty destination batch is
+		// registered as outstanding under the sender's current epoch
+		// (the stamp it will carry), and undelivered tracks it until
+		// its inbox.put so recovery can wait out the delivery limbo.
 		w.stats.MsgsSent += total
 		e.coord.addSent(total)
+		nd := int64(0)
+		for _, msgs := range out {
+			if len(msgs) > 0 {
+				nd++
+			}
+		}
+		e.undelivered.Add(nd)
+		if e.ckpt != nil {
+			for i := int64(0); i < nd; i++ {
+				e.ckpt.BatchSent(w.epoch)
+			}
+		}
 		select {
-		case w.flushCh <- out:
+		case w.flushCh <- flushOut[T]{out: out, epoch: w.epoch}:
 		case <-e.done:
 			// Run over (failure/timeout): the batches are never
 			// delivered, and the pre-counted sent total cannot matter —
 			// done has already fired.
+			e.undelivered.Add(-nd)
 		}
 	}
 	w.rounds = e.coord.roundDone(w.id)
 	w.stats.Rounds = w.rounds
 	w.lastRoundEnd = time.Now()
+	if e.ckpt != nil {
+		if ev := e.opts.Checkpoint.EveryRounds; ev > 0 && w.rounds%ev == 0 {
+			// Any worker may play master and announce the next epoch;
+			// the store refuses while the previous one is recording.
+			// Re-broadcast afterwards: idle workers record on progress
+			// wakes, and roundDone's broadcast above may have fired
+			// before the announcement became visible.
+			if _, ok := e.ckpt.Announce(); ok {
+				e.broadcastProgress()
+			}
+		}
+	}
 	if e.hsync != nil {
 		_, rmax := e.coord.view(w.id)
 		e.hsync.observe(rmax, 0)

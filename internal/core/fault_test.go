@@ -1,0 +1,316 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"aap/internal/algo/cc"
+	"aap/internal/algo/pagerank"
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/gen"
+	"aap/internal/partition"
+)
+
+// chaosOpts is the canonical fault schedule of the recovery tests: a
+// checkpoint every round and worker 1 killed the first time it reaches
+// an incremental round.
+func chaosOpts(seed int64) core.Options {
+	return core.Options{
+		Mode:       core.AAP,
+		Timeout:    time.Minute,
+		Checkpoint: core.CheckpointOptions{EveryRounds: 1},
+		Faults: &core.Faults{
+			Seed: seed,
+			Kill: &core.KillSpec{Worker: 1, Round: 1},
+		},
+	}
+}
+
+// TestChaosKillMatchesFaultFreeSSSP is the determinism contract for an
+// idempotent min-fold kernel: a run that loses a worker and recovers
+// from the last sealed snapshot must produce bit-identical output to
+// the fault-free run, at every forced kernel shard count.
+func TestChaosKillMatchesFaultFreeSSSP(t *testing.T) {
+	g := gen.PowerLaw(500, 6, 2.1, true, 1)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	for _, k := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			base, err := core.Run(p, sssp.JobShards(0, k), core.Options{Mode: core.AAP, Timeout: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(p, sssp.JobShards(0, k), chaosOpts(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Recoveries < 1 {
+				t.Fatalf("kill scheduled but no recovery ran (recoveries=%d)", res.Stats.Recoveries)
+			}
+			for v := range base.Values {
+				if b, r := base.Values[v], res.Values[v]; b != r && !(math.IsInf(b, 1) && math.IsInf(r, 1)) {
+					t.Fatalf("vertex %d: fault-free %v, recovered %v", v, b, r)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosKillMatchesFaultFreeCC repeats the contract for the CC
+// kernel, whose int64 labels admit exact comparison.
+func TestChaosKillMatchesFaultFreeCC(t *testing.T) {
+	g := gen.SmallWorld(400, 2, 0.05, false, 2)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	for _, k := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			base, err := core.Run(p, cc.JobShards(k), core.Options{Mode: core.AAP, Timeout: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(p, cc.JobShards(k), chaosOpts(43))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Recoveries < 1 {
+				t.Fatalf("kill scheduled but no recovery ran (recoveries=%d)", res.Stats.Recoveries)
+			}
+			for v := range base.Values {
+				if base.Values[v] != res.Values[v] {
+					t.Fatalf("vertex %d: fault-free cid %d, recovered %d", v, base.Values[v], res.Values[v])
+				}
+			}
+		})
+	}
+}
+
+// TestChaosKillMatchesFaultFreePageRank: PageRank's sum aggregate is
+// not schedule-independent at the bit level (floating-point addition
+// order varies across legal executions), so the recovered run is held
+// to the same tolerance the differential tests use rather than bitwise
+// equality.
+func TestChaosKillMatchesFaultFreePageRank(t *testing.T) {
+	g := gen.PowerLaw(300, 5, 2.1, false, 3)
+	p := mustPartition(t, g, 4, partition.Range{})
+	for _, k := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			cfg := pagerank.Config{Tol: 1e-10, Shards: k}
+			base, err := core.Run(p, pagerank.Job(cfg), core.Options{Mode: core.AAP, Timeout: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(p, pagerank.Job(cfg), chaosOpts(44))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Recoveries < 1 {
+				t.Fatalf("kill scheduled but no recovery ran (recoveries=%d)", res.Stats.Recoveries)
+			}
+			for v := range base.Values {
+				if d := math.Abs(base.Values[v] - res.Values[v]); d > 1e-6 {
+					t.Fatalf("vertex %d: fault-free %v, recovered %v (|Δ|=%g)", v, base.Values[v], res.Values[v], d)
+				}
+			}
+		})
+	}
+}
+
+// TestKillBeforeAnySealRestartsFresh: with no checkpointing configured
+// the rollback has no sealed snapshot and must restart the computation
+// from scratch — fresh programs, PEval again — and still land on the
+// fault-free answer.
+func TestKillBeforeAnySealRestartsFresh(t *testing.T) {
+	g := gen.PowerLaw(400, 5, 2.1, true, 5)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	base, err := core.Run(p, sssp.Job(0), core.Options{Mode: core.AAP, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, sssp.Job(0), core.Options{
+		Mode:    core.AAP,
+		Timeout: time.Minute,
+		Faults:  &core.Faults{Kill: &core.KillSpec{Worker: 2, Round: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Recoveries < 1 {
+		t.Fatalf("kill scheduled but no recovery ran (recoveries=%d)", res.Stats.Recoveries)
+	}
+	for v := range base.Values {
+		if b, r := base.Values[v], res.Values[v]; b != r && !(math.IsInf(b, 1) && math.IsInf(r, 1)) {
+			t.Fatalf("vertex %d: fault-free %v, restarted %v", v, b, r)
+		}
+	}
+}
+
+// TestCheckpointDoesNotPerturb: enabling snapshots must not change the
+// answer of a fault-free run, and the run must actually seal epochs.
+func TestCheckpointDoesNotPerturb(t *testing.T) {
+	g := gen.PowerLaw(500, 6, 2.1, true, 1)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	base, err := core.Run(p, sssp.Job(0), core.Options{Mode: core.AAP, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, sssp.Job(0), core.Options{
+		Mode:       core.AAP,
+		Timeout:    time.Minute,
+		Checkpoint: core.CheckpointOptions{EveryRounds: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Checkpoints < 1 {
+		t.Errorf("no snapshot epoch sealed")
+	}
+	if res.Stats.Checkpoints > 0 && res.Stats.CheckpointBytes == 0 {
+		t.Errorf("sealed %d epochs but recorded 0 state bytes", res.Stats.Checkpoints)
+	}
+	if res.Stats.Recoveries != 0 {
+		t.Errorf("fault-free run performed %d recoveries", res.Stats.Recoveries)
+	}
+	for v := range base.Values {
+		if b, r := base.Values[v], res.Values[v]; b != r && !(math.IsInf(b, 1) && math.IsInf(r, 1)) {
+			t.Fatalf("vertex %d: plain %v, checkpointed %v", v, b, r)
+		}
+	}
+}
+
+// TestDuplicateAndDelaySafeForMinFold: duplicated and delayed batches
+// must leave an idempotent min-fold kernel bit-identical to the
+// fault-free run and must not break termination accounting.
+func TestDuplicateAndDelaySafeForMinFold(t *testing.T) {
+	g := gen.PowerLaw(400, 5, 2.1, true, 7)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	base, err := core.Run(p, sssp.Job(0), core.Options{Mode: core.AAP, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, sssp.Job(0), core.Options{
+		Mode:    core.AAP,
+		Timeout: time.Minute,
+		Faults: &core.Faults{
+			Seed:      9,
+			DupProb:   0.3,
+			DelayProb: 0.3,
+			DelayBy:   time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range base.Values {
+		if b, r := base.Values[v], res.Values[v]; b != r && !(math.IsInf(b, 1) && math.IsInf(r, 1)) {
+			t.Fatalf("vertex %d: fault-free %v, under dup/delay %v", v, b, r)
+		}
+	}
+}
+
+// TestDropLiveness: dropping batches voids the determinism contract
+// (the lost update never arrives), but the termination counters are
+// compensated, so the run must still end cleanly.
+func TestDropLiveness(t *testing.T) {
+	g := gen.PowerLaw(400, 5, 2.1, true, 8)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	res, err := core.Run(p, sssp.Job(0), core.Options{
+		Mode:    core.AAP,
+		Timeout: time.Minute,
+		Faults:  &core.Faults{Seed: 11, DropProb: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.Values) != g.NumVertices() {
+		t.Fatal("lossy run returned no result")
+	}
+}
+
+// bomb panics in IncEval: satellite regression test that a worker panic
+// is contained into a run error naming the worker instead of crashing
+// the process.
+type bomb struct{ f *partition.Fragment }
+
+func (b *bomb) PEval(ctx *core.Context[float64]) {
+	for _, v := range b.f.Out {
+		ctx.Send(v, 1)
+	}
+}
+
+func (b *bomb) IncEval(msgs []core.VMsg[float64], ctx *core.Context[float64]) {
+	panic("kaboom")
+}
+
+func (b *bomb) Get(int32) float64 { return 0 }
+
+func TestWorkerPanicContained(t *testing.T) {
+	g := gen.Grid(10, 10, 2)
+	p := mustPartition(t, g, 2, partition.Hash{})
+	job := core.Job[float64]{
+		Name:      "bomb",
+		New:       func(f *partition.Fragment) core.Program[float64] { return &bomb{f: f} },
+		Aggregate: math.Min,
+	}
+	_, err := core.Run(p, job, core.Options{Timeout: 30 * time.Second})
+	if err == nil {
+		t.Fatal("panicking worker produced no error")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not attributed: %v", err)
+	}
+	if !strings.Contains(err.Error(), "worker") {
+		t.Fatalf("error does not name the worker: %v", err)
+	}
+}
+
+// TestCheckpointRequiresSnapshotter: enabling checkpoints against a job
+// whose programs cannot snapshot must fail up front, not at the first
+// epoch.
+func TestCheckpointRequiresSnapshotter(t *testing.T) {
+	g := gen.Grid(8, 8, 1)
+	p := mustPartition(t, g, 2, partition.Hash{})
+	job := core.Job[float64]{
+		Name:      "bomb",
+		New:       func(f *partition.Fragment) core.Program[float64] { return &bomb{f: f} },
+		Aggregate: math.Min,
+	}
+	_, err := core.Run(p, job, core.Options{
+		Timeout:    30 * time.Second,
+		Checkpoint: core.CheckpointOptions{EveryRounds: 1},
+	})
+	if err == nil || !strings.Contains(err.Error(), "Snapshotter") {
+		t.Fatalf("want Snapshotter requirement error, got %v", err)
+	}
+}
+
+// TestDeadlinePartialResult: a stalled worker keeps the run from ever
+// terminating; Deadline must hand back the partial result wrapped in
+// context.DeadlineExceeded instead of aborting with nothing.
+func TestDeadlinePartialResult(t *testing.T) {
+	g := gen.PowerLaw(300, 5, 2.1, true, 4)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	res, err := core.Run(p, sssp.Job(0), core.Options{
+		Mode:     core.AAP,
+		Timeout:  time.Minute,
+		Deadline: 200 * time.Millisecond,
+		Faults: &core.Faults{
+			Stall: &core.StallSpec{Worker: 0, Round: 0, For: time.Minute},
+		},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("deadline returned no partial result")
+	}
+	if len(res.Values) != g.NumVertices() {
+		t.Fatalf("partial result has %d values, want %d", len(res.Values), g.NumVertices())
+	}
+	if res.Stats.Seconds <= 0 {
+		t.Errorf("partial result missing stats")
+	}
+}

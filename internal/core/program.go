@@ -55,6 +55,29 @@ type Program[T any] interface {
 	Get(v int32) T
 }
 
+// Snapshotter is the optional fault-tolerance half of a Program: a
+// kernel that implements it can participate in Chandy-Lamport
+// checkpointing (Options.Checkpoint) and recover from worker failure.
+// Programs that don't implement it still run — the engine fails fast
+// only when checkpointing is actually requested.
+//
+// The engine calls both methods at round boundaries only, when the
+// kernel's transient worklists (frontiers, buckets, heaps) are empty by
+// the IncEval local-quiescence contract, so implementations serialize
+// just the durable per-vertex state plus their internal round counters.
+type Snapshotter interface {
+	// SnapshotState returns the codec-serialized durable state. The
+	// engine owns the returned buffer.
+	SnapshotState() []byte
+
+	// RestoreState replaces the program's durable state with a
+	// previously snapshotted buffer and rebuilds any derived structures
+	// (e.g. CC's root→copies index). It may be called on a freshly
+	// constructed Program (a replacement for a dead worker) or on a
+	// live one being rolled back.
+	RestoreState(data []byte) error
+}
+
 // Job packages a PIE program for execution by an engine.
 type Job[T any] struct {
 	// Name identifies the job in reports.

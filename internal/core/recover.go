@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aap/internal/checkpoint"
+)
+
+// CheckpointOptions configures consistent snapshots of a run.
+type CheckpointOptions struct {
+	// EveryRounds announces a new snapshot epoch whenever a worker
+	// completes a multiple of this many rounds (and the previous epoch
+	// has sealed). Zero disables checkpointing.
+	EveryRounds int32
+}
+
+// The engine adapts Chandy-Lamport to its asynchronous rounds with the
+// epoch stamp as the marker:
+//
+//   - Every outgoing batch is stamped with the sender's recorded epoch
+//     at flush handoff, so "carries the token" is simply stamp == e.
+//   - A worker records its cut for epoch e the first time it learns of
+//     e: at a round boundary (polling the announced epoch) or upon
+//     draining a batch stamped e — before that batch enters its buffer.
+//     The cut is the program's durable state plus the buffer contents,
+//     which by the record-before-drain rule hold only pre-cut messages;
+//     they are captured as channel state.
+//   - Batches stamped before the receiver's recorded epoch are late
+//     messages without the token: copied into the snapshot's channel
+//     state at drain, then processed normally.
+//   - Epoch e seals when every worker has recorded it and every batch
+//     stamped < e has drained (checkpoint.Store's outstanding counts).
+//
+// Recovery is a global rollback, not a victim-only restore: replaying a
+// victim's lost messages necessarily re-sends data that surviving
+// workers may have already folded, which is only sound when the
+// aggregate is idempotent. Rolling every worker back to the sealed cut
+// makes the resumed run a legal execution from a consistent state for
+// any aggregate, which is what the determinism contract (recovered
+// output ≡ fault-free output) rests on.
+
+// recovery coordinates quiesce → rollback → resume after a worker
+// death. Workers park at safe points (loop top and idle wake) while it
+// rewrites their state.
+type recovery[T any] struct {
+	e     *engine[T]
+	pause atomic.Bool
+
+	mu     sync.Mutex
+	resume chan struct{}
+	active bool
+
+	parked atomic.Int32
+	wg     sync.WaitGroup
+}
+
+// request starts a recovery for the death of worker victim; redundant
+// requests while one is in progress are ignored.
+func (r *recovery[T]) request(victim int) {
+	r.mu.Lock()
+	if r.active {
+		r.mu.Unlock()
+		return
+	}
+	r.active = true
+	r.resume = make(chan struct{})
+	r.pause.Store(true)
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.recover(victim)
+	}()
+}
+
+// park blocks the calling worker until the recovery completes. It
+// returns false when the run ended instead.
+func (r *recovery[T]) park() bool {
+	r.mu.Lock()
+	ch := r.resume
+	r.mu.Unlock()
+	if ch == nil {
+		return true // recovery already finished
+	}
+	r.parked.Add(1)
+	defer r.parked.Add(-1)
+	select {
+	case <-ch:
+		return true
+	case <-r.e.done:
+		return false
+	}
+}
+
+// recover quiesces the engine, rolls back to the last sealed snapshot,
+// and resumes. Quiescence means every worker is parked and every
+// handed-off batch has landed in an inbox (undelivered == 0), so no
+// message can materialize while state is rewritten.
+func (r *recovery[T]) recover(victim int) {
+	e := r.e
+	t0 := time.Now()
+	for {
+		e.broadcastProgress() // wake idle workers so they reach a safe point
+		if int(r.parked.Load()) == e.p.M && e.undelivered.Load() == 0 {
+			break
+		}
+		select {
+		case <-e.done:
+			r.finish()
+			return
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	r.rollback(victim)
+	e.recoveries.Add(1)
+	e.recoveryNanos.Add(time.Since(t0).Nanoseconds())
+	r.finish()
+}
+
+// finish releases parked workers and re-arms the manager.
+func (r *recovery[T]) finish() {
+	r.mu.Lock()
+	r.pause.Store(false)
+	ch := r.resume
+	r.resume = nil
+	r.active = false
+	r.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// rollback rewrites the whole engine to the last sealed snapshot while
+// every worker is parked. With no sealed snapshot the run restarts from
+// scratch: fresh programs, PEval again. The victim's program is
+// discarded and rebuilt purely from snapshot bytes — its in-memory
+// state is treated as lost with the "dead" worker.
+func (r *recovery[T]) rollback(victim int) {
+	e := r.e
+	var snap *checkpoint.Snapshot[VMsg[T]]
+	if e.ckpt != nil {
+		snap = e.ckpt.Sealed()
+	}
+
+	// Destroy the abandoned execution's residue: inbox contents and
+	// local buffers are all post-cut.
+	for _, w := range e.workers {
+		bs := w.inbox.take()
+		for _, b := range bs {
+			e.pool.put(b.msgs)
+		}
+		if bs != nil {
+			w.inbox.release(bs)
+		}
+		w.buffer = w.buffer[:0]
+		if w.originGen == int32(1)<<30 {
+			clear(w.originSeen)
+			w.originGen = 0
+		}
+		w.originGen++
+		w.originCnt = 0
+	}
+
+	rounds := make([]int32, e.p.M)
+	for i, w := range e.workers {
+		if snap == nil {
+			w.prog = e.job.New(w.frag)
+			w.rounds = 0
+			w.pevalDone = false
+			w.epoch = 0
+		} else {
+			if i == victim {
+				w.prog = e.job.New(w.frag)
+			}
+			if err := w.prog.(Snapshotter).RestoreState(snap.States[i]); err != nil {
+				e.fail(fmt.Errorf("core: %s worker %d failed to restore epoch %d: %w", e.job.Name, i, snap.Epoch, err))
+				return
+			}
+			w.rounds = snap.Rounds[i]
+			w.pevalDone = snap.PEvalDone[i]
+			w.epoch = snap.Epoch
+		}
+		rounds[i] = w.rounds
+		w.isActive = true
+	}
+	e.coord.reset(rounds)
+	if e.ckpt != nil {
+		e.ckpt.Reset()
+	}
+
+	// Replay the captured channel state through the normal inbox path.
+	// The copies keep the sealed snapshot intact for a second recovery,
+	// and the sent/outstanding accounting makes the replayed batches
+	// indistinguishable from live ones: termination waits for them, and
+	// the next epoch cannot seal before they drain.
+	if snap != nil {
+		for _, f := range snap.InFlight {
+			msgs := append([]VMsg[T](nil), f.Msgs...)
+			e.coord.addSent(int64(len(msgs)))
+			if e.ckpt != nil {
+				e.ckpt.BatchSent(snap.Epoch)
+			}
+			e.workers[f.To].inbox.put(batch[T]{from: f.From, epoch: snap.Epoch, msgs: msgs})
+		}
+	}
+}
+
+// safepoint handles fault-tolerance business at the top of the worker
+// loop: parking for a quiesce, recording an announced epoch, and firing
+// scheduled stall/kill faults. It returns false when the run ended.
+func (w *worker[T]) safepoint() bool {
+	e := w.eng
+	if e.recov != nil && e.recov.pause.Load() {
+		if !e.recov.park() {
+			return false
+		}
+	}
+	if e.ckpt != nil {
+		if ep := e.ckpt.AnnouncedEpoch(); ep > w.epoch {
+			w.record(ep)
+		}
+	}
+	if e.inj != nil {
+		if d, ok := e.inj.shouldStall(w.id, w.rounds); ok {
+			select {
+			case <-time.After(d):
+			case <-e.done:
+				return false
+			}
+		}
+		if e.inj.shouldKill(w.id, w.rounds) {
+			e.recov.request(w.id)
+			if !e.recov.park() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// interrupted reports whether an idle worker must leave its wait loop
+// for a non-message reason: a quiesce in progress or an epoch to
+// record.
+func (w *worker[T]) interrupted() bool {
+	e := w.eng
+	if e.recov != nil && e.recov.pause.Load() {
+		return true
+	}
+	return e.ckpt != nil && e.ckpt.AnnouncedEpoch() > w.epoch
+}
+
+// record takes this worker's cut for epoch: durable program state,
+// round counter, and the buffer as captured channel state (the
+// record-before-drain rule guarantees it holds only pre-cut messages).
+// The buffer is copied, grouped into per-origin flights so replay
+// preserves the origin accounting of the inbox path.
+func (w *worker[T]) record(epoch int32) {
+	snap, ok := w.prog.(Snapshotter)
+	if !ok {
+		return // Run validated this when checkpointing is enabled
+	}
+	var fl []checkpoint.Flight[VMsg[T]]
+	for i := 0; i < len(w.buffer); {
+		j := i + 1
+		for j < len(w.buffer) && w.buffer[j].From == w.buffer[i].From {
+			j++
+		}
+		fl = append(fl, checkpoint.Flight[VMsg[T]]{
+			From: w.buffer[i].From,
+			To:   int32(w.id),
+			Msgs: append([]VMsg[T](nil), w.buffer[i:j]...),
+		})
+		i = j
+	}
+	if err := w.eng.ckpt.Record(int32(w.id), epoch, snap.SnapshotState(), w.rounds, w.pevalDone, fl); err == nil {
+		w.epoch = epoch
+	}
+}

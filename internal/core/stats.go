@@ -27,6 +27,13 @@ type RunStats struct {
 	MaxRound   int32
 	MinRound   int32
 	SumRounds  int64
+
+	// Fault-tolerance accounting, zero unless checkpointing or fault
+	// injection was enabled for the run.
+	Checkpoints     int64   // snapshot epochs sealed
+	CheckpointBytes int64   // cumulative serialized state bytes across sealed snapshots
+	Recoveries      int64   // rollback-and-resume cycles executed
+	RecoverySeconds float64 // wall time spent quiesced in recovery
 }
 
 // finalize derives the aggregate fields from the per-worker entries.

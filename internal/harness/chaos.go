@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/partition"
+)
+
+// ChaosSeeds is the fixed fault-schedule axis of -exp chaos; the CI
+// smoke step runs exactly these three seeds so a regression in the
+// recovery path is reproducible from the log alone.
+var ChaosSeeds = []int64{1, 7, 42}
+
+// Chaos measures the fault-tolerance plane on a wall-clock engine run:
+//
+//   - checkpoint overhead — the same SSSP run with snapshots every
+//     round and every 4 rounds against the plain run, reported as
+//     ns/epoch sealed and bytes/snapshot;
+//   - recovery — for each seed, a run that loses a worker at its first
+//     incremental round, restores from the last sealed snapshot, and
+//     must land bit-identical to the fault-free distances (the
+//     determinism contract for the idempotent min fold); recovery wall
+//     time comes from the engine's quiesce-to-resume clock.
+//
+// cmd/aapbench exposes it as -exp chaos.
+func Chaos(workers int, seeds []int64) (string, error) {
+	ds := FriendsterSim(Scale())
+	p, err := partition.Build(ds.Graph, workers, partition.Hash{})
+	if err != nil {
+		return "", err
+	}
+	job := sssp.Job(ds.Source)
+	plain := core.Options{Mode: core.AAP, Timeout: time.Minute}
+
+	base, err := core.Run(p, job, plain)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault tolerance: sssp on %s (n=%d, m=%d), %d workers\n",
+		ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges(), workers)
+	fmt.Fprintf(&b, "%-22s %10s %8s %12s %14s %12s\n",
+		"run", "time(s)", "epochs", "ns/epoch", "bytes/snap", "recoveries")
+	fmt.Fprintf(&b, "%-22s %10.3f %8d %12s %14s %12d\n",
+		"baseline", base.Stats.Seconds, 0, "-", "-", 0)
+
+	for _, every := range []int32{1, 4} {
+		opts := plain
+		opts.Checkpoint = core.CheckpointOptions{EveryRounds: every}
+		res, err := core.Run(p, job, opts)
+		if err != nil {
+			return "", err
+		}
+		if err := sameDistances(base.Values, res.Values); err != nil {
+			return "", fmt.Errorf("checkpointed run (every=%d) diverged: %w", every, err)
+		}
+		st := res.Stats
+		nsEpoch, bytesSnap := "-", "-"
+		if st.Checkpoints > 0 {
+			nsEpoch = fmt.Sprintf("%.0f", (st.Seconds-base.Stats.Seconds)*1e9/float64(st.Checkpoints))
+			bytesSnap = fmt.Sprintf("%d", st.CheckpointBytes/st.Checkpoints)
+		}
+		fmt.Fprintf(&b, "%-22s %10.3f %8d %12s %14s %12d\n",
+			fmt.Sprintf("checkpoint every=%d", every), st.Seconds, st.Checkpoints, nsEpoch, bytesSnap, st.Recoveries)
+	}
+
+	b.WriteString("\nseeded kill + recovery (checkpoint every round, kill at first incremental round):\n")
+	fmt.Fprintf(&b, "%-22s %10s %8s %12s %14s %12s\n",
+		"run", "time(s)", "epochs", "victim", "recovery(ms)", "recoveries")
+	for _, seed := range seeds {
+		victim := int(seed) % workers
+		opts := plain
+		opts.Checkpoint = core.CheckpointOptions{EveryRounds: 1}
+		opts.Faults = &core.Faults{
+			Seed: seed,
+			Kill: &core.KillSpec{Worker: victim, Round: 1},
+		}
+		res, err := core.Run(p, job, opts)
+		if err != nil {
+			return "", err
+		}
+		if err := sameDistances(base.Values, res.Values); err != nil {
+			return "", fmt.Errorf("seed %d: recovered run diverged from fault-free run: %w", seed, err)
+		}
+		st := res.Stats
+		fmt.Fprintf(&b, "%-22s %10.3f %8d %12d %14.3f %12d\n",
+			fmt.Sprintf("seed=%d", seed), st.Seconds, st.Checkpoints, victim, st.RecoverySeconds*1e3, st.Recoveries)
+		if st.Recoveries < 1 {
+			return "", fmt.Errorf("seed %d: kill scheduled for worker %d but no recovery ran", seed, victim)
+		}
+	}
+	b.WriteString("\nall recovered runs bit-identical to the fault-free baseline\n")
+	return b.String(), nil
+}
+
+// sameDistances compares two assembled SSSP value vectors bitwise,
+// treating +Inf as equal to +Inf.
+func sameDistances(want, got []float64) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("length %d vs %d", len(got), len(want))
+	}
+	for v := range want {
+		if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+			return fmt.Errorf("vertex %d: %v vs %v", v, got[v], want[v])
+		}
+	}
+	return nil
+}
