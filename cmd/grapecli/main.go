@@ -8,6 +8,8 @@
 //	grapecli -graph g.txt -algo sssp -sssp-kernel buckets -delta 2.5
 //	grapecli -graph g.txt -algo cc -mode bsp -out cids.txt
 //	grapecli -graph g.txt -algo pagerank -mode ap
+//	grapecli -graph g.txt -algo sssp -checkpoint-every 1 -fault-seed 42
+//	grapecli -graph g.txt -algo cc -transport tcp
 package main
 
 import (
@@ -36,6 +38,9 @@ func main() {
 	staleness := flag.Int("staleness", 2, "SSP staleness bound c")
 	strategy := flag.String("partition", "bfs", "partition strategy: hash, range, bfs")
 	out := flag.String("out", "", "write per-vertex results to this file (default stdout summary only)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "seal a Chandy-Lamport snapshot every N incremental rounds (0: checkpointing off)")
+	faultSeed := flag.Int64("fault-seed", 0, "seeded chaos run: kill worker seed%workers at its first incremental round and recover (0: no faults; implies -checkpoint-every 1)")
+	transportName := flag.String("transport", "inproc", "message plane: inproc, tcp (loopback TCP with codec-encoded batches)")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -76,6 +81,29 @@ func main() {
 		fatal(err)
 	}
 	opts := core.Options{Mode: mode, Staleness: *staleness}
+	if *checkpointEvery > 0 {
+		opts.Checkpoint = core.CheckpointOptions{EveryRounds: int32(*checkpointEvery)}
+	}
+	if *faultSeed != 0 {
+		if opts.Checkpoint.EveryRounds == 0 {
+			// A kill without a sealed snapshot to roll back to would
+			// abort the run; recovery is the point of the flag.
+			opts.Checkpoint = core.CheckpointOptions{EveryRounds: 1}
+		}
+		w := int64(*workers)
+		victim := int(((*faultSeed % w) + w) % w)
+		opts.Faults = &core.Faults{
+			Seed: *faultSeed,
+			Kill: &core.KillSpec{Worker: victim, Round: 1},
+		}
+	}
+	switch *transportName {
+	case "inproc":
+	case "tcp":
+		opts.Transport = &core.TransportOptions{TCP: true}
+	default:
+		fatal(fmt.Errorf("unknown transport %q", *transportName))
+	}
 
 	var lines []string
 	var stats core.RunStats
@@ -122,6 +150,14 @@ func main() {
 		loadSecs, loadRate, p.Strategy(), partSecs)
 	fmt.Printf("time %.3fs, rounds max %d, messages %d, bytes %d\n",
 		stats.Seconds, stats.MaxRound, stats.TotalMsgs, stats.TotalBytes)
+	if stats.Checkpoints > 0 || stats.Recoveries > 0 {
+		fmt.Printf("checkpoints %d (%d bytes), recoveries %d (%.3fms quiesced)\n",
+			stats.Checkpoints, stats.CheckpointBytes, stats.Recoveries, stats.RecoverySeconds*1e3)
+	}
+	if stats.WireBytesOut > 0 || stats.WireBytesIn > 0 {
+		fmt.Printf("wire: %d bytes out, %d bytes in, %d retries, %d heartbeat timeouts\n",
+			stats.WireBytesOut, stats.WireBytesIn, stats.Retries, stats.HeartbeatTimeouts)
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 			fatal(err)

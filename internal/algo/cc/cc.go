@@ -17,6 +17,7 @@ package cc
 import (
 	"sync/atomic"
 
+	"aap/internal/codec"
 	"aap/internal/core"
 	"aap/internal/graph"
 	"aap/internal/par"
@@ -46,6 +47,8 @@ func JobShards(shards int) core.Job[int64] {
 		},
 		Aggregate: func(a, b int64) int64 { return min64(a, b) },
 		Bytes:     func(int64) int { return 8 },
+		EncodeVal: codec.AppendInt64,
+		DecodeVal: (*codec.Reader).Int64,
 	}
 }
 
@@ -57,6 +60,8 @@ func RefJob() core.Job[int64] {
 		New:       func(f *partition.Fragment) core.Program[int64] { return newRefProgram(f) },
 		Aggregate: func(a, b int64) int64 { return min64(a, b) },
 		Bytes:     func(int64) int { return 8 },
+		EncodeVal: codec.AppendInt64,
+		DecodeVal: (*codec.Reader).Int64,
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"aap/internal/algo/ref"
+	"aap/internal/codec"
 	"aap/internal/core"
 	"aap/internal/graph"
 	"aap/internal/par"
@@ -97,6 +98,14 @@ func Job(cfg Config) core.Job[Val] {
 			return out
 		},
 		Bytes: func(v Val) int { return 8*len(v.Vec) + 12 },
+		EncodeVal: func(dst []byte, v Val) []byte {
+			dst = codec.AppendFloat64s(dst, v.Vec)
+			dst = codec.AppendFloat64(dst, v.Weight)
+			return codec.AppendInt32(dst, v.TS)
+		},
+		DecodeVal: func(r *codec.Reader) Val {
+			return Val{Vec: r.Float64s(), Weight: r.Float64(), TS: r.Int32()}
+		},
 	}
 }
 

@@ -19,6 +19,7 @@
 package pagerank
 
 import (
+	"aap/internal/codec"
 	"aap/internal/core"
 	"aap/internal/graph"
 	"aap/internal/par"
@@ -63,6 +64,8 @@ func Job(cfg Config) core.Job[float64] {
 		},
 		Aggregate: func(a, b float64) float64 { return a + b },
 		Bytes:     func(float64) int { return 8 },
+		EncodeVal: codec.AppendFloat64,
+		DecodeVal: (*codec.Reader).Float64,
 	}
 }
 
@@ -75,6 +78,8 @@ func RefJob(cfg Config) core.Job[float64] {
 		New:       func(f *partition.Fragment) core.Program[float64] { return newRefProgram(f, cfg) },
 		Aggregate: func(a, b float64) float64 { return a + b },
 		Bytes:     func(float64) int { return 8 },
+		EncodeVal: codec.AppendFloat64,
+		DecodeVal: (*codec.Reader).Float64,
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"aap/internal/codec"
 	"aap/internal/core"
 	"aap/internal/graph"
 	"aap/internal/par"
@@ -118,6 +119,8 @@ func JobConfig(cfg Config) core.Job[float64] {
 		Aggregate: math.Min,
 		Bytes:     func(float64) int { return 8 },
 		Default:   func(int32) float64 { return Inf },
+		EncodeVal: codec.AppendFloat64,
+		DecodeVal: (*codec.Reader).Float64,
 	}
 }
 

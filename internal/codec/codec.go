@@ -80,6 +80,13 @@ func AppendInt64s(dst []byte, vs []int64) []byte {
 	return dst
 }
 
+// AppendBytes appends a length-prefixed byte blob (a nested payload:
+// serialized program state inside an RPC frame, for example).
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
 // AppendString appends a length-prefixed string.
 func AppendString(dst []byte, s string) []byte {
 	dst = AppendUint32(dst, uint32(len(s)))
@@ -214,6 +221,19 @@ func (r *Reader) Int64s() []int64 {
 		out[i] = r.Int64()
 	}
 	return out
+}
+
+// Bytes decodes a length-prefixed byte blob. The returned slice aliases
+// the reader's buffer (the nested payload is decoded in place, not
+// copied); callers that retain it past the buffer's lifetime must copy.
+func (r *Reader) Bytes() []byte {
+	n := r.Uint32()
+	if r.err != nil || !r.need(int(n)) {
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
 }
 
 // String decodes a length-prefixed string.

@@ -12,6 +12,7 @@ import (
 
 	"aap/internal/checkpoint"
 	"aap/internal/partition"
+	"aap/internal/transport"
 )
 
 // Options configures a run of the concurrent engine.
@@ -52,6 +53,14 @@ type Options struct {
 	// context.DeadlineExceeded, instead of the nil Result a Timeout
 	// abort produces.
 	Deadline time.Duration
+	// Transport selects the message plane (in-proc channels, TCP, remote
+	// Program hosts); nil is the in-proc fast path.
+	Transport *TransportOptions
+	// RoundHook, when set, is called at the top of every execRound with
+	// the worker id and the round about to run — a test seam for timing
+	// external events (e.g. kill -9 of a remote host process at a chosen
+	// round). It runs on the worker goroutine and must not block.
+	RoundHook func(worker int, round int32)
 }
 
 func (o *Options) withDefaults() Options {
@@ -90,6 +99,8 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 		roundTimes: make([]uint64, p.M),
 	}
 	e.coord.init(p.M, e)
+	e.plane = &inprocPlane[T]{e}
+	e.clink = &inprocLink[T]{e}
 	if opts.Mode == Hsync {
 		e.hsync = newHsyncState(opts.HsyncWindow)
 	}
@@ -99,7 +110,8 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 	if opts.Faults != nil {
 		e.inj = newFaultInjector(*opts.Faults, p.M)
 	}
-	if e.ckpt != nil || e.inj != nil {
+	if e.ckpt != nil || e.inj != nil ||
+		(opts.Transport != nil && len(opts.Transport.RemoteWorkers) > 0) {
 		e.recov = &recovery[T]{e: e}
 	}
 	e.workers = make([]*worker[T], p.M)
@@ -128,6 +140,15 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 			if _, ok := w.prog.(Snapshotter); !ok {
 				return nil, fmt.Errorf("core: %s: checkpointing requires the Program to implement core.Snapshotter", job.Name)
 			}
+		}
+	}
+	if opts.Transport.enabled() {
+		err := e.setupPlane()
+		if e.tp != nil {
+			defer e.shutdownPlane() // runs after Assemble collects remote values
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -163,7 +184,7 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 	case <-timer.C:
 		e.fail(fmt.Errorf("core: %s/%s timed out after %v", job.Name, opts.Mode, opts.Timeout))
 	}
-	close(e.done)
+	e.closeDone()
 	wg.Wait()
 	fwg.Wait() // flushers own BytesSent; join before reading stats
 	if e.recov != nil {
@@ -185,6 +206,13 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 	}
 	stats.Recoveries = e.recoveries.Load()
 	stats.RecoverySeconds = float64(e.recoveryNanos.Load()) / 1e9
+	if e.tp != nil {
+		ws := e.tp.Stats()
+		stats.WireBytesOut = ws.WireBytesOut
+		stats.WireBytesIn = ws.WireBytesIn
+		stats.Retries = ws.Retries
+		stats.HeartbeatTimeouts = ws.HeartbeatTimeouts
+	}
 
 	progs := make([]Program[T], p.M)
 	for i, w := range e.workers {
@@ -212,6 +240,18 @@ type engine[T any] struct {
 	rates      []uint64 // per-worker arrival-rate EWMA as float bits
 	roundTimes []uint64 // per-worker round-time EWMA as float bits
 
+	// Message plane and coordinator link, the pluggable halves of the
+	// transport refactor: plane carries batches, clink carries the
+	// coordinator tokens. Defaults are the in-proc implementations; the
+	// TCP plane (tp) replaces both and adds remote Program proxies.
+	plane   msgPlane[T]
+	clink   coordLink
+	tp      *transport.Plane
+	wlink   *wireLink[T]
+	remotes []*remoteProg[T]
+	ctrlReq chan transport.Frame
+	planeWg sync.WaitGroup
+
 	// Fault-tolerance plane, all nil/zero when disabled.
 	ckpt  *checkpoint.Store[VMsg[T]]
 	recov *recovery[T]
@@ -223,8 +263,14 @@ type engine[T any] struct {
 	recoveries    atomic.Int64
 	recoveryNanos atomic.Int64
 
+	doneOnce sync.Once
+
 	errMu  sync.Mutex
 	runErr error
+}
+
+func (e *engine[T]) closeDone() {
+	e.doneOnce.Do(func() { close(e.done) })
 }
 
 func (e *engine[T]) fail(err error) {
@@ -258,25 +304,15 @@ func (e *engine[T]) avgRoundTime() float64 {
 	return sum / float64(len(e.roundTimes))
 }
 
-// deliver ships a message batch from worker `from` to worker `to`,
-// optionally after the configured latency; jitter is drawn by the caller
-// so each flusher uses its own random stream. The batch was already
-// counted as sent by the worker at flush handoff, which is what keeps
-// the termination check sound while delivery runs in the background.
-// epoch is the sender's snapshot epoch at handoff — the Chandy-Lamport
-// marker the receiver compares against its own cut.
-func (e *engine[T]) deliver(from, to int, epoch int32, msgs []VMsg[T], extra time.Duration) {
-	put := func() {
-		e.workers[to].inbox.put(batch[T]{from: int32(from), epoch: epoch, msgs: msgs})
-		e.undelivered.Add(-1)
-	}
-	d := e.opts.Latency + extra
-	if d > 0 {
-		time.AfterFunc(d, put)
-	} else {
-		put()
-	}
-}
+// Batch delivery lives behind the msgPlane interface (plane.go): the
+// in-proc implementation is the old direct inbox handoff, the TCP
+// implementation codec-encodes the batch into a frame. Both end with
+// inbox.put plus the undelivered decrement, whichever path carried the
+// bytes. The batch was already counted as sent by the worker at flush
+// handoff, which is what keeps the termination check sound while
+// delivery runs in the background; epoch is the sender's snapshot epoch
+// at handoff — the Chandy-Lamport marker the receiver compares against
+// its own cut.
 
 // batch is one designated message M(i, j): the update-parameter changes
 // shipped from worker i to worker j after a round, stamped with the
@@ -487,9 +523,9 @@ func (w *worker[T]) flusher() {
 						// counter and the checkpoint outstanding count
 						// so termination and sealing stay live.
 						e.undelivered.Add(-1)
-						e.coord.addConsumed(int64(len(msgs)))
+						e.clink.addConsumed(w.id, int64(len(msgs)))
 						if e.ckpt != nil {
-							e.ckpt.BatchDrained(fo.epoch)
+							e.clink.batchDrained(w.id, fo.epoch)
 						}
 						e.pool.put(msgs)
 						continue
@@ -500,11 +536,11 @@ func (w *worker[T]) flusher() {
 						// exactly like a real batch.
 						cp := append([]VMsg[T](nil), msgs...)
 						e.undelivered.Add(1)
-						e.coord.addSent(int64(len(cp)))
+						e.clink.addSent(w.id, int64(len(cp)))
 						if e.ckpt != nil {
-							e.ckpt.BatchSent(fo.epoch)
+							e.clink.batchSent(w.id, fo.epoch)
 						}
-						e.deliver(w.id, j, fo.epoch, cp, fdelay)
+						e.plane.deliver(w.id, j, fo.epoch, cp, fdelay)
 					}
 				}
 				for _, m := range msgs {
@@ -514,7 +550,7 @@ func (w *worker[T]) flusher() {
 				if e.opts.Jitter > 0 {
 					extra = time.Duration(w.frng.Int63n(int64(e.opts.Jitter)))
 				}
-				e.deliver(w.id, j, fo.epoch, msgs, extra+fdelay)
+				e.plane.deliver(w.id, j, fo.epoch, msgs, extra+fdelay)
 			}
 			w.stats.BytesSent += bytes
 			clear(out)
@@ -681,7 +717,7 @@ func (w *worker[T]) setActive(active bool) {
 		return
 	}
 	w.isActive = active
-	w.eng.coord.setActive(w.id, active)
+	w.eng.clink.setActive(w.id, active)
 }
 
 // wait blocks until a message arrives, global progress changes, the delay
@@ -757,12 +793,12 @@ func (w *worker[T]) drain() {
 		}
 		w.eng.pool.put(b.msgs)
 		if w.eng.ckpt != nil {
-			w.eng.ckpt.BatchDrained(b.epoch)
+			w.eng.clink.batchDrained(w.id, b.epoch)
 		}
 	}
 	w.inbox.release(bs)
 	w.stats.MsgsRecv += int64(n)
-	w.eng.coord.addConsumed(int64(n))
+	w.eng.clink.addConsumed(w.id, int64(n))
 	if w.eng.hsync != nil {
 		w.eng.hsync.processed.Add(int64(n))
 	}
@@ -777,7 +813,7 @@ func (w *worker[T]) drain() {
 }
 
 func (w *worker[T]) view() View {
-	rmin, rmax := w.eng.coord.view(w.id)
+	rmin, rmax := w.eng.clink.view(w.id)
 	return View{
 		Worker:       w.id,
 		NumWorkers:   w.eng.p.M,
@@ -799,6 +835,9 @@ func (w *worker[T]) view() View {
 // flushes the designated messages.
 func (w *worker[T]) execRound(peval bool) {
 	e := w.eng
+	if e.opts.RoundHook != nil {
+		e.opts.RoundHook(w.id, w.rounds)
+	}
 	if w.rounds >= e.opts.MaxRounds {
 		e.fail(fmt.Errorf("core: %s/%s worker %d exceeded %d rounds", e.job.Name, e.opts.Mode, w.id, e.opts.MaxRounds))
 		return
@@ -858,7 +897,7 @@ func (w *worker[T]) execRound(peval bool) {
 		// (the stamp it will carry), and undelivered tracks it until
 		// its inbox.put so recovery can wait out the delivery limbo.
 		w.stats.MsgsSent += total
-		e.coord.addSent(total)
+		e.clink.addSent(w.id, total)
 		nd := int64(0)
 		for _, msgs := range out {
 			if len(msgs) > 0 {
@@ -868,7 +907,7 @@ func (w *worker[T]) execRound(peval bool) {
 		e.undelivered.Add(nd)
 		if e.ckpt != nil {
 			for i := int64(0); i < nd; i++ {
-				e.ckpt.BatchSent(w.epoch)
+				e.clink.batchSent(w.id, w.epoch)
 			}
 		}
 		select {
@@ -880,7 +919,7 @@ func (w *worker[T]) execRound(peval bool) {
 			e.undelivered.Add(-nd)
 		}
 	}
-	w.rounds = e.coord.roundDone(w.id)
+	w.rounds = e.clink.roundDone(w.id)
 	w.stats.Rounds = w.rounds
 	w.lastRoundEnd = time.Now()
 	if e.ckpt != nil {
@@ -890,13 +929,13 @@ func (w *worker[T]) execRound(peval bool) {
 			// Re-broadcast afterwards: idle workers record on progress
 			// wakes, and roundDone's broadcast above may have fired
 			// before the announcement became visible.
-			if _, ok := e.ckpt.Announce(); ok {
+			if e.clink.announce(w.id) {
 				e.broadcastProgress()
 			}
 		}
 	}
 	if e.hsync != nil {
-		_, rmax := e.coord.view(w.id)
+		_, rmax := e.clink.view(w.id)
 		e.hsync.observe(rmax, 0)
 	}
 }

@@ -1,0 +1,550 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"aap/internal/codec"
+	"aap/internal/transport"
+)
+
+// TransportOptions selects and tunes the message plane of a run.
+//
+// The default (nil, or TCP false with no remote workers) is the in-proc
+// plane: batches move by pointer handoff between goroutines and the
+// coordinator is shared-memory atomics. With TCP true the engine runs
+// its cluster wiring for real on a loopback listener: every batch is
+// codec-encoded into a length-prefixed frame, shipped over TCP, and
+// decoded on the far side — communication accounting measures real
+// serialized bytes — and the coordinator tokens (round / sent /
+// consumed / active, snapshot announce & seal) travel the same plane as
+// synchronous request/reply RPCs. RemoteWorkers additionally moves the
+// named workers' Programs into separate processes (see ServeWorker):
+// the parent keeps the worker loop and drives the Program over RPC, so
+// a kill -9 of the host process is detected by heartbeat silence and
+// recovered through the ordinary rollback path.
+type TransportOptions struct {
+	// TCP routes worker batches and coordinator tokens over the TCP
+	// plane (loopback by default) instead of in-proc channels.
+	TCP bool
+	// ListenAddr is the plane's listen address; "127.0.0.1:0" if empty.
+	ListenAddr string
+	// RemoteWorkers lists worker ids whose Programs are hosted by
+	// external processes that dial in with ServeWorker.
+	RemoteWorkers []int
+	// RemoteWait bounds how long Run waits for every remote host to
+	// complete its handshake; 10s if zero.
+	RemoteWait time.Duration
+	// OnListen, when set, is called with the plane's bound address once
+	// the listener is up and before Run waits for remote hosts — the
+	// hook a parent uses to spawn worker processes against a :0 port.
+	// It must not block.
+	OnListen func(addr string)
+	// Heartbeat / failure-detector / retry tuning, passed through to
+	// transport.Config (zeros pick that package's defaults).
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
+	DeadAfter      time.Duration
+	RetryLimit     int
+	RetryBase      time.Duration
+	RetryMax       time.Duration
+}
+
+func (t *TransportOptions) enabled() bool {
+	return t != nil && (t.TCP || len(t.RemoteWorkers) > 0)
+}
+
+// Endpoint id scheme on the plane: workers are 0..M-1, the coordinator
+// is M, and the remote host serving worker k's Program is M+1+k.
+func (e *engine[T]) coordEndpoint() int32 { return int32(e.p.M) }
+
+func hostEndpoint(m, worker int) int32 { return int32(m + 1 + worker) }
+
+// msgPlane is the pluggable delivery path for designated-message
+// batches. Both implementations sit below the flusher — fault injection
+// (drop/dup/delay) happens above this boundary, so one fault model
+// covers both planes — and above the inbox: a delivered batch ends with
+// inbox.put plus the undelivered decrement, whichever plane carried it.
+type msgPlane[T any] interface {
+	// deliver ships msgs from worker `from` to worker `to` after the
+	// extra delay, stamped with the sender's snapshot epoch. The plane
+	// owns msgs from this call on.
+	deliver(from, to int, epoch int32, msgs []VMsg[T], extra time.Duration)
+	// wireStats reports serialized-byte and robustness counters; all
+	// zero for the in-proc plane.
+	wireStats() transport.Stats
+}
+
+// inprocPlane is the fast path: batches move by pointer handoff.
+type inprocPlane[T any] struct{ e *engine[T] }
+
+func (p *inprocPlane[T]) deliver(from, to int, epoch int32, msgs []VMsg[T], extra time.Duration) {
+	e := p.e
+	put := func() {
+		e.workers[to].inbox.put(batch[T]{from: int32(from), epoch: epoch, msgs: msgs})
+		e.undelivered.Add(-1)
+	}
+	d := e.opts.Latency + extra
+	if d > 0 {
+		time.AfterFunc(d, put)
+	} else {
+		put()
+	}
+}
+
+func (p *inprocPlane[T]) wireStats() transport.Stats { return transport.Stats{} }
+
+// tcpPlane codec-encodes each batch into a KindData frame and ships it
+// through the transport; the engine's onFrame decodes it back into the
+// destination inbox. Sender-side slices return to the pool right after
+// encoding; the receiver decodes into fresh pooled slices.
+type tcpPlane[T any] struct{ e *engine[T] }
+
+func (p *tcpPlane[T]) deliver(from, to int, epoch int32, msgs []VMsg[T], extra time.Duration) {
+	e := p.e
+	ship := func() {
+		payload := codec.AppendInt32(nil, epoch)
+		payload = codec.AppendUint32(payload, uint32(len(msgs)))
+		for _, m := range msgs {
+			payload = codec.AppendInt32(payload, m.V)
+			payload = codec.AppendInt32(payload, m.Round)
+			payload = codec.AppendInt32(payload, m.From)
+			payload = e.job.EncodeVal(payload, m.Val)
+		}
+		n := int64(len(msgs))
+		e.pool.put(msgs)
+		if err := e.tp.Send(int32(from), int32(to), transport.KindData, payload); err != nil {
+			// The frame will never arrive (plane closed or link declared
+			// dead): compensate exactly like an injected drop so the
+			// Mattern counters, the seal accounting, and the quiesce
+			// condition stay live.
+			e.undelivered.Add(-1)
+			e.clink.addConsumed(from, n)
+			if e.ckpt != nil {
+				e.clink.batchDrained(from, epoch)
+			}
+		}
+	}
+	d := e.opts.Latency + extra
+	if d > 0 {
+		time.AfterFunc(d, ship)
+	} else {
+		ship()
+	}
+}
+
+func (p *tcpPlane[T]) wireStats() transport.Stats { return p.e.tp.Stats() }
+
+// decodeBatch decodes a KindData payload into a pooled message slice.
+func (e *engine[T]) decodeBatch(payload []byte) (epoch int32, msgs []VMsg[T], err error) {
+	r := codec.NewReader(payload)
+	epoch = r.Int32()
+	n := int(r.Uint32())
+	// Header-lie guard: each message costs at least 13 bytes on the
+	// wire (3×int32 + ≥1 value byte), so cap the claimed count before
+	// allocating and let truncation surface as a decode error.
+	if lim := r.Remaining()/13 + 1; n > lim {
+		return 0, nil, fmt.Errorf("core: batch claims %d messages, %d bytes remain", n, r.Remaining())
+	}
+	msgs = e.pool.get()
+	for i := 0; i < n; i++ {
+		m := VMsg[T]{V: r.Int32(), Round: r.Int32(), From: r.Int32()}
+		m.Val = e.job.DecodeVal(r)
+		msgs = append(msgs, m)
+	}
+	if err := r.Err(); err != nil {
+		e.pool.put(msgs)
+		return 0, nil, err
+	}
+	return epoch, msgs, nil
+}
+
+// onFrame is the plane's delivery callback, running on transport reader
+// goroutines. It must never call transport send paths synchronously
+// (transport.Config.OnFrame contract): everything it does is enqueue —
+// inbox puts, buffered control-request queue, single-slot reply chans.
+func (e *engine[T]) onFrame(f transport.Frame) {
+	switch f.Kind {
+	case transport.KindData:
+		to := int(f.To)
+		if to < 0 || to >= e.p.M {
+			return
+		}
+		epoch, msgs, err := e.decodeBatch(f.Payload)
+		if err != nil {
+			e.fail(fmt.Errorf("core: %s: corrupt batch frame %d→%d: %w", e.job.Name, f.From, f.To, err))
+			return
+		}
+		e.workers[to].inbox.put(batch[T]{from: f.From, epoch: epoch, msgs: msgs})
+		e.undelivered.Add(-1)
+	case transport.KindCtrl:
+		if f.To == e.coordEndpoint() {
+			select {
+			case e.ctrlReq <- f:
+			case <-e.done:
+			}
+			return
+		}
+		if int(f.To) >= 0 && int(f.To) < e.p.M {
+			e.wlink.clients[f.To].deliver(f.Payload)
+		}
+	case transport.KindRPC:
+		// Only replies reach the parent (requests target host
+		// endpoints, which live in the worker processes).
+		if int(f.To) >= 0 && int(f.To) < e.p.M {
+			if rp := e.remotes[f.To]; rp != nil {
+				rp.deliver(f.Payload)
+			}
+		}
+	}
+}
+
+// onPeerDead is the heartbeat verdict: a host process went silent past
+// the death threshold (or exhausted its reconnect budget). Mark its
+// proxy dead — aborting any blocked RPC — and trigger the ordinary
+// quiesce → rollback-to-sealed-epoch → replay recovery for the worker
+// it served.
+func (e *engine[T]) onPeerDead(linkID int32, served []int32, err error) {
+	for _, s := range served {
+		k := int(s) - (e.p.M + 1)
+		if k < 0 || k >= e.p.M {
+			continue
+		}
+		if rp := e.remotes[k]; rp != nil {
+			rp.markDead()
+			if e.recov != nil {
+				e.recov.request(k)
+			}
+		}
+	}
+}
+
+// setupPlane wires the TCP transport into the engine: the loopback
+// listener, the self-link that carries the parent's own batches and
+// coordinator tokens as real frames, the coordinator server, and the
+// remote Program proxies (waiting for each host to dial in).
+func (e *engine[T]) setupPlane() error {
+	topts := e.opts.Transport
+	if e.job.EncodeVal == nil || e.job.DecodeVal == nil {
+		return fmt.Errorf("core: %s: the TCP plane requires Job.EncodeVal/DecodeVal", e.job.Name)
+	}
+	addr := topts.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	tp, err := transport.Listen(transport.Config{
+		ListenAddr:     addr,
+		HeartbeatEvery: topts.HeartbeatEvery,
+		SuspectAfter:   topts.SuspectAfter,
+		DeadAfter:      topts.DeadAfter,
+		RetryLimit:     topts.RetryLimit,
+		Retry:          transport.Backoff{Base: topts.RetryBase, Max: topts.RetryMax, Seed: uint64(e.opts.Seed)},
+		OnFrame:        e.onFrame,
+		OnPeerDead:     e.onPeerDead,
+	})
+	if err != nil {
+		return err
+	}
+	e.tp = tp
+	e.remotes = make([]*remoteProg[T], e.p.M)
+	e.ctrlReq = make(chan transport.Frame, 4*e.p.M+16)
+	if topts.OnListen != nil {
+		topts.OnListen(tp.Addr())
+	}
+	if topts.TCP {
+		// Self-link 0: every parent endpoint (workers + coordinator)
+		// routes through one loopback conn, so parent-side batches and
+		// tokens are serialized, framed, and byte-accounted for real.
+		route := make([]int32, 0, e.p.M+1)
+		for i := 0; i <= e.p.M; i++ {
+			route = append(route, int32(i))
+		}
+		if err := tp.Dial(0, tp.Addr(), nil, route); err != nil {
+			return err
+		}
+		e.plane = &tcpPlane[T]{e}
+		e.wlink = newWireLink(e)
+		e.clink = e.wlink
+		e.planeWg.Add(1)
+		go e.coordServe()
+	}
+	for _, k := range topts.RemoteWorkers {
+		if k < 0 || k >= e.p.M {
+			return fmt.Errorf("core: %s: remote worker %d out of range [0,%d)", e.job.Name, k, e.p.M)
+		}
+		rp := newRemoteProg(e, k)
+		e.remotes[k] = rp
+		e.workers[k].prog = rp
+	}
+	wait := topts.RemoteWait
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	for _, k := range topts.RemoteWorkers {
+		if err := tp.WaitRoute(hostEndpoint(e.p.M, k), wait); err != nil {
+			return fmt.Errorf("core: %s: remote host for worker %d never dialed in: %w", e.job.Name, k, err)
+		}
+	}
+	return nil
+}
+
+// shutdownPlane runs after the result is assembled (remote value
+// collection needs the links): tell live hosts to exit, then tear the
+// transport down.
+func (e *engine[T]) shutdownPlane() {
+	e.closeDone() // also covers early-error exits before the run started
+	for _, rp := range e.remotes {
+		if rp != nil && rp.alive() {
+			rp.shutdown()
+		}
+	}
+	e.tp.Close()
+	e.planeWg.Wait()
+}
+
+// coordLink is how workers (and their flushers) reach the coordinator
+// and the checkpoint store's announce/seal accounting. The in-proc
+// implementation is direct shared-memory calls; the wire implementation
+// speaks the ctrl token protocol over the plane. Every operation is a
+// synchronous request/reply — fire-and-forget tokens would be unsound:
+// a consumed token racing ahead of its sent counterpart could show the
+// coordinator sent == consumed during a transient and terminate a run
+// with messages still in flight. Awaiting the reply preserves the same
+// happens-before edges the shared-memory atomics give (a worker's sent
+// is visible before any later token it emits).
+type coordLink interface {
+	roundDone(id int) int32
+	addSent(id int, n int64)
+	addConsumed(id int, n int64)
+	setActive(id int, active bool)
+	view(self int) (rmin, rmax int32)
+	announce(id int) bool
+	announcedEpoch(id int) int32
+	batchSent(id int, stamp int32)
+	batchDrained(id int, stamp int32)
+}
+
+// inprocLink is the shared-memory coordinator path.
+type inprocLink[T any] struct{ e *engine[T] }
+
+func (l *inprocLink[T]) roundDone(id int) int32        { return l.e.coord.roundDone(id) }
+func (l *inprocLink[T]) addSent(id int, n int64)       { l.e.coord.addSent(n) }
+func (l *inprocLink[T]) addConsumed(id int, n int64)   { l.e.coord.addConsumed(n) }
+func (l *inprocLink[T]) setActive(id int, active bool) { l.e.coord.setActive(id, active) }
+func (l *inprocLink[T]) view(self int) (int32, int32)  { return l.e.coord.view(self) }
+func (l *inprocLink[T]) announcedEpoch(id int) int32   { return l.e.ckpt.AnnouncedEpoch() }
+func (l *inprocLink[T]) batchSent(id int, stamp int32) { l.e.ckpt.BatchSent(stamp) }
+func (l *inprocLink[T]) batchDrained(id int, stamp int32) {
+	l.e.ckpt.BatchDrained(stamp)
+}
+func (l *inprocLink[T]) announce(id int) bool {
+	_, ok := l.e.ckpt.Announce()
+	return ok
+}
+
+// Ctrl protocol ops. Request payload: [op int32][args...], from the
+// worker endpoint to the coordinator endpoint. Reply payload: [op
+// int32][results...], back to the requester. Per-worker calls are
+// serialized (one outstanding request per endpoint), and the link is
+// FIFO, so replies match requests without ids.
+const (
+	opRoundDone int32 = iota + 1
+	opAddSent
+	opAddConsumed
+	opSetActive
+	opView
+	opAnnounce
+	opAnnouncedEpoch
+	opBatchSent
+	opBatchDrained
+)
+
+// ctrlClient is one worker's synchronous channel to the coordinator
+// server. The mutex serializes the worker goroutine and its flusher,
+// which share the endpoint.
+type ctrlClient[T any] struct {
+	e      *engine[T]
+	id     int
+	mu     chan struct{} // 1-token semaphore (mutex with done-abort)
+	respCh chan []byte
+}
+
+func newCtrlClient[T any](e *engine[T], id int) *ctrlClient[T] {
+	c := &ctrlClient[T]{e: e, id: id, mu: make(chan struct{}, 1), respCh: make(chan []byte, 1)}
+	c.mu <- struct{}{}
+	return c
+}
+
+// deliver hands a reply payload to the waiting call; runs on the
+// transport reader. The single-outstanding discipline guarantees the
+// slot is free.
+func (c *ctrlClient[T]) deliver(payload []byte) {
+	select {
+	case c.respCh <- payload:
+	default:
+		// A reply for a call that aborted on shutdown; drop it.
+	}
+}
+
+// call sends one ctrl request and blocks for its reply. After the run
+// ends it returns nil, and callers treat the zero results as inert —
+// every caller is on its way out through e.done.
+func (c *ctrlClient[T]) call(req []byte) *codec.Reader {
+	select {
+	case <-c.mu:
+	case <-c.e.done:
+		return nil
+	}
+	defer func() { c.mu <- struct{}{} }()
+	// Drain a reply abandoned by a previous aborted call so the FIFO
+	// pairing stays intact.
+	select {
+	case <-c.respCh:
+	default:
+	}
+	if err := c.e.tp.Send(int32(c.id), c.e.coordEndpoint(), transport.KindCtrl, req); err != nil {
+		return nil
+	}
+	select {
+	case resp := <-c.respCh:
+		return codec.NewReader(resp)
+	case <-c.e.done:
+		return nil
+	}
+}
+
+// wireLink is the coordinator-over-the-plane path.
+type wireLink[T any] struct {
+	e       *engine[T]
+	clients []*ctrlClient[T]
+}
+
+func newWireLink[T any](e *engine[T]) *wireLink[T] {
+	l := &wireLink[T]{e: e, clients: make([]*ctrlClient[T], e.p.M)}
+	for i := range l.clients {
+		l.clients[i] = newCtrlClient(e, i)
+	}
+	return l
+}
+
+func req(op int32) []byte { return codec.AppendInt32(nil, op) }
+
+func (l *wireLink[T]) roundDone(id int) int32 {
+	r := l.clients[id].call(req(opRoundDone))
+	if r == nil {
+		return 0
+	}
+	r.Int32() // op echo
+	return r.Int32()
+}
+
+func (l *wireLink[T]) addSent(id int, n int64) {
+	l.clients[id].call(codec.AppendInt64(req(opAddSent), n))
+}
+
+func (l *wireLink[T]) addConsumed(id int, n int64) {
+	l.clients[id].call(codec.AppendInt64(req(opAddConsumed), n))
+}
+
+func (l *wireLink[T]) setActive(id int, active bool) {
+	l.clients[id].call(codec.AppendBool(codec.AppendInt32(req(opSetActive), int32(id)), active))
+}
+
+func (l *wireLink[T]) view(self int) (int32, int32) {
+	r := l.clients[self].call(codec.AppendInt32(req(opView), int32(self)))
+	if r == nil {
+		return 0, 0
+	}
+	r.Int32()
+	return r.Int32(), r.Int32()
+}
+
+func (l *wireLink[T]) announce(id int) bool {
+	r := l.clients[id].call(req(opAnnounce))
+	if r == nil {
+		return false
+	}
+	r.Int32()
+	return r.Bool()
+}
+
+func (l *wireLink[T]) announcedEpoch(id int) int32 {
+	r := l.clients[id].call(req(opAnnouncedEpoch))
+	if r == nil {
+		return 0
+	}
+	r.Int32()
+	return r.Int32()
+}
+
+func (l *wireLink[T]) batchSent(id int, stamp int32) {
+	l.clients[id].call(codec.AppendInt32(req(opBatchSent), stamp))
+}
+
+func (l *wireLink[T]) batchDrained(id int, stamp int32) {
+	l.clients[id].call(codec.AppendInt32(req(opBatchDrained), stamp))
+}
+
+// coordServe is the coordinator endpoint: a single goroutine draining
+// ctrl requests in arrival order and applying them to the shared
+// coordinator/checkpoint state. It is the wire-protocol stand-in for
+// the paper's master. Replies go back through the plane's non-blocking
+// send queue, so the server can never deadlock against a slow link.
+func (e *engine[T]) coordServe() {
+	defer e.planeWg.Done()
+	for {
+		var f transport.Frame
+		select {
+		case f = <-e.ctrlReq:
+		case <-e.done:
+			return
+		}
+		r := codec.NewReader(f.Payload)
+		op := r.Int32()
+		resp := codec.AppendInt32(nil, op)
+		switch op {
+		case opRoundDone:
+			resp = codec.AppendInt32(resp, e.coord.roundDone(int(f.From)))
+		case opAddSent:
+			e.coord.addSent(r.Int64())
+		case opAddConsumed:
+			e.coord.addConsumed(r.Int64())
+		case opSetActive:
+			id := r.Int32()
+			e.coord.setActive(int(id), r.Bool())
+		case opView:
+			rmin, rmax := e.coord.view(int(r.Int32()))
+			resp = codec.AppendInt32(resp, rmin)
+			resp = codec.AppendInt32(resp, rmax)
+		case opAnnounce:
+			ok := false
+			if e.ckpt != nil {
+				_, ok = e.ckpt.Announce()
+			}
+			resp = codec.AppendBool(resp, ok)
+		case opAnnouncedEpoch:
+			ep := int32(0)
+			if e.ckpt != nil {
+				ep = e.ckpt.AnnouncedEpoch()
+			}
+			resp = codec.AppendInt32(resp, ep)
+		case opBatchSent:
+			if e.ckpt != nil {
+				e.ckpt.BatchSent(r.Int32())
+			}
+		case opBatchDrained:
+			if e.ckpt != nil {
+				e.ckpt.BatchDrained(r.Int32())
+			}
+		default:
+			e.fail(fmt.Errorf("core: coordinator received unknown ctrl op %d", op))
+			continue
+		}
+		if r.Err() != nil {
+			e.fail(fmt.Errorf("core: corrupt ctrl request op %d from %d: %w", op, f.From, r.Err()))
+			continue
+		}
+		// Best-effort: a send error here means the plane is closing.
+		_ = e.tp.Send(e.coordEndpoint(), f.From, transport.KindCtrl, resp)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"aap/internal/codec"
 	"aap/internal/partition"
 )
 
@@ -98,6 +99,16 @@ type Job[T any] struct {
 	// Default returns the value reported for vertices never touched by
 	// the computation; the zero value of T when nil.
 	Default func(v int32) T
+
+	// EncodeVal and DecodeVal give the value type a wire form for the
+	// TCP transport plane (Options.Transport): EncodeVal appends val's
+	// serialized bytes to dst, DecodeVal reads them back. They must be
+	// exact inverses producing byte-stable output, since cross-process
+	// runs are pinned bit-identical to in-proc runs. Jobs that leave
+	// them nil still run on the in-proc plane; the engine fails fast
+	// only when a TCP or remote-worker run actually needs them.
+	EncodeVal func(dst []byte, val T) []byte
+	DecodeVal func(r *codec.Reader) T
 
 	// Validate, when set, checks the job's preconditions against the
 	// partitioned graph (e.g. SSSP's "edge weights must be positive",

@@ -166,13 +166,29 @@ func (r *recovery[T]) rollback(victim int) {
 
 	rounds := make([]int32, e.p.M)
 	for i, w := range e.workers {
+		// A dead remote host can't execute anything again: fail back to a
+		// locally hosted Program rebuilt from the fragment (its in-memory
+		// state is lost with the process either way).
+		deadRemote := false
+		if rp, ok := w.prog.(*remoteProg[T]); ok && !rp.alive() {
+			deadRemote = true
+		}
 		if snap == nil {
-			w.prog = e.job.New(w.frag)
+			if rp, ok := w.prog.(*remoteProg[T]); ok && rp.alive() {
+				// Full restart with a live remote host: have it rebuild
+				// its Program in place instead of replacing the proxy.
+				if err := rp.reset(); err != nil {
+					e.fail(fmt.Errorf("core: %s worker %d remote reset failed: %w", e.job.Name, i, err))
+					return
+				}
+			} else {
+				w.prog = e.job.New(w.frag)
+			}
 			w.rounds = 0
 			w.pevalDone = false
 			w.epoch = 0
 		} else {
-			if i == victim {
+			if i == victim || deadRemote {
 				w.prog = e.job.New(w.frag)
 			}
 			if err := w.prog.(Snapshotter).RestoreState(snap.States[i]); err != nil {
@@ -219,7 +235,7 @@ func (w *worker[T]) safepoint() bool {
 		}
 	}
 	if e.ckpt != nil {
-		if ep := e.ckpt.AnnouncedEpoch(); ep > w.epoch {
+		if ep := e.clink.announcedEpoch(w.id); ep > w.epoch {
 			w.record(ep)
 		}
 	}
@@ -249,7 +265,7 @@ func (w *worker[T]) interrupted() bool {
 	if e.recov != nil && e.recov.pause.Load() {
 		return true
 	}
-	return e.ckpt != nil && e.ckpt.AnnouncedEpoch() > w.epoch
+	return e.ckpt != nil && e.clink.announcedEpoch(w.id) > w.epoch
 }
 
 // record takes this worker's cut for epoch: durable program state,
@@ -261,6 +277,16 @@ func (w *worker[T]) record(epoch int32) {
 	snap, ok := w.prog.(Snapshotter)
 	if !ok {
 		return // Run validated this when checkpointing is enabled
+	}
+	if rp, ok := w.prog.(*remoteProg[T]); ok && !rp.alive() {
+		// The host died: its snapshot RPC would return nil state, and
+		// sealing an epoch over it would corrupt the recovery point.
+		// Recovery is already requested; it rolls back past this epoch.
+		return
+	}
+	state := snap.SnapshotState()
+	if rp, ok := w.prog.(*remoteProg[T]); ok && !rp.alive() {
+		return // host died mid-snapshot; state may be truncated
 	}
 	var fl []checkpoint.Flight[VMsg[T]]
 	for i := 0; i < len(w.buffer); {
@@ -275,7 +301,7 @@ func (w *worker[T]) record(epoch int32) {
 		})
 		i = j
 	}
-	if err := w.eng.ckpt.Record(int32(w.id), epoch, snap.SnapshotState(), w.rounds, w.pevalDone, fl); err == nil {
+	if err := w.eng.ckpt.Record(int32(w.id), epoch, state, w.rounds, w.pevalDone, fl); err == nil {
 		w.epoch = epoch
 	}
 }

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aap/internal/codec"
+	"aap/internal/partition"
+	"aap/internal/transport"
+)
+
+// Remote Program hosting. The parent process keeps everything stateful
+// about the run — worker loops, inboxes, the coordinator, the
+// checkpoint store — and moves only the Program (the PIE kernel) into
+// the worker process. The host is a passive RPC executor: PEval /
+// IncEval / Snapshot / Restore / Collect arrive as frames, run against
+// the local Program, and the produced designated messages travel back
+// in the reply for the parent to route through its ordinary flush path.
+// This keeps the Mattern and seal accounting entirely inside the
+// parent, so a host process dying at any instant loses only Program
+// state — exactly what the sealed snapshot restores.
+
+// RPC ops. Request payload: [op int32][args...]; reply: [op int32]
+// [results...]. Calls are serialized per proxy (one outstanding), so
+// replies pair with requests by link FIFO order.
+const (
+	rpcPEval int32 = iota + 1
+	rpcIncEval
+	rpcSnapshot
+	rpcRestore
+	rpcCollect
+	rpcReset
+	rpcShutdown
+)
+
+// evalReply is the wire shape both eval ops return: [work int64]
+// [ndest uint32] then per destination [dest int32][n uint32][msgs...].
+
+// remoteProg is the parent-side Program proxy for one remote-hosted
+// worker. It implements Program and Snapshotter by shipping each call
+// to the host endpoint and injecting the returned messages into the
+// worker's Context, so the engine cannot tell it from a local kernel.
+type remoteProg[T any] struct {
+	e    *engine[T]
+	w    int   // worker id (= our endpoint)
+	host int32 // host endpoint id
+
+	mu     sync.Mutex // serializes calls (worker loop vs. recovery)
+	respCh chan []byte
+
+	deadOnce sync.Once
+	dead     chan struct{}
+
+	collected []T
+	haveVals  bool
+}
+
+func newRemoteProg[T any](e *engine[T], w int) *remoteProg[T] {
+	return &remoteProg[T]{
+		e:      e,
+		w:      w,
+		host:   hostEndpoint(e.p.M, w),
+		respCh: make(chan []byte, 1),
+		dead:   make(chan struct{}),
+	}
+}
+
+// markDead aborts any blocked call; fired by the heartbeat verdict.
+func (rp *remoteProg[T]) markDead() {
+	rp.deadOnce.Do(func() { close(rp.dead) })
+}
+
+func (rp *remoteProg[T]) alive() bool {
+	select {
+	case <-rp.dead:
+		return false
+	default:
+		return true
+	}
+}
+
+// deliver hands a reply payload to the blocked call; runs on the
+// transport reader goroutine.
+func (rp *remoteProg[T]) deliver(payload []byte) {
+	select {
+	case rp.respCh <- payload:
+	default:
+	}
+}
+
+// call ships one RPC and blocks for the reply. It does NOT abort on
+// e.done — result collection runs after the run finishes — only on host
+// death or the timeout. A nil return means the host is gone; the caller
+// returns inert results and the death path (recovery) takes over.
+func (rp *remoteProg[T]) call(payload []byte, timeout time.Duration) *codec.Reader {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	select {
+	case <-rp.respCh: // reply abandoned by an aborted predecessor
+	default:
+	}
+	if err := rp.e.tp.Send(int32(rp.w), rp.host, transport.KindRPC, payload); err != nil {
+		return nil
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case resp := <-rp.respCh:
+		r := codec.NewReader(resp)
+		r.Int32() // op echo
+		return r
+	case <-rp.dead:
+		return nil
+	case <-t.C:
+		rp.markDead()
+		return nil
+	}
+}
+
+// rpcTimeout bounds a single Program call round trip. A host that
+// cannot answer an eval this long is as good as dead — the heartbeat
+// detector will almost always fire first.
+const rpcTimeout = 60 * time.Second
+
+// injectEval decodes an eval reply into ctx: work accounting plus every
+// produced designated message, routed exactly as a local kernel's
+// ctx.Send would have.
+func (rp *remoteProg[T]) injectEval(r *codec.Reader, ctx *Context[T]) {
+	if r == nil {
+		return // host died mid-call; recovery rolls this round back
+	}
+	e := rp.e
+	ctx.AddWork(int(r.Int64()))
+	nd := int(r.Uint32())
+	for d := 0; d < nd && r.Err() == nil; d++ {
+		dest := int(r.Int32())
+		n := int(r.Uint32())
+		if dest < 0 || dest >= e.p.M || n > r.Remaining()+1 {
+			e.fail(fmt.Errorf("core: %s: corrupt eval reply from host of worker %d", e.job.Name, rp.w))
+			return
+		}
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m := VMsg[T]{V: r.Int32(), Round: r.Int32(), From: r.Int32()}
+			m.Val = e.job.DecodeVal(r)
+			ctx.push(dest, m)
+		}
+	}
+	if err := r.Err(); err != nil {
+		e.fail(fmt.Errorf("core: %s: corrupt eval reply from host of worker %d: %w", e.job.Name, rp.w, err))
+	}
+}
+
+func (rp *remoteProg[T]) PEval(ctx *Context[T]) {
+	pl := codec.AppendInt32(codec.AppendInt32(nil, rpcPEval), ctx.round)
+	rp.injectEval(rp.call(pl, rpcTimeout), ctx)
+}
+
+func (rp *remoteProg[T]) IncEval(msgs []VMsg[T], ctx *Context[T]) {
+	e := rp.e
+	pl := codec.AppendInt32(codec.AppendInt32(nil, rpcIncEval), ctx.round)
+	pl = codec.AppendUint32(pl, uint32(len(msgs)))
+	for _, m := range msgs {
+		pl = codec.AppendInt32(pl, m.V)
+		pl = codec.AppendInt32(pl, m.Round)
+		pl = codec.AppendInt32(pl, m.From)
+		pl = e.job.EncodeVal(pl, m.Val)
+	}
+	rp.injectEval(rp.call(pl, rpcTimeout), ctx)
+}
+
+func (rp *remoteProg[T]) Get(v int32) T {
+	var zero T
+	if !rp.haveVals {
+		r := rp.call(codec.AppendInt32(nil, rpcCollect), rpcTimeout)
+		if r == nil {
+			return zero // dead host; rollback replaced us for real runs
+		}
+		f := rp.e.p.Frags[rp.w]
+		n := int(f.Hi - f.Lo)
+		if lim := r.Remaining() + 1; n > lim {
+			return zero
+		}
+		vals := make([]T, n)
+		for i := range vals {
+			vals[i] = rp.e.job.DecodeVal(r)
+		}
+		if r.Err() != nil {
+			return zero
+		}
+		rp.collected = vals
+		rp.haveVals = true
+	}
+	f := rp.e.p.Frags[rp.w]
+	if v < f.Lo || v >= f.Hi {
+		return zero
+	}
+	return rp.collected[v-f.Lo]
+}
+
+func (rp *remoteProg[T]) SnapshotState() []byte {
+	r := rp.call(codec.AppendInt32(nil, rpcSnapshot), rpcTimeout)
+	if r == nil {
+		return nil // record() skips dead proxies before getting here
+	}
+	return append([]byte(nil), r.Bytes()...)
+}
+
+func (rp *remoteProg[T]) RestoreState(data []byte) error {
+	pl := codec.AppendBytes(codec.AppendInt32(nil, rpcRestore), data)
+	r := rp.call(pl, rpcTimeout)
+	if r == nil {
+		return fmt.Errorf("core: host of worker %d is dead", rp.w)
+	}
+	if !r.Bool() {
+		return fmt.Errorf("core: host of worker %d: %s", rp.w, r.String())
+	}
+	return r.Err()
+}
+
+// reset asks the host to rebuild a fresh Program (the from-scratch
+// rollback path, where no sealed snapshot exists).
+func (rp *remoteProg[T]) reset() error {
+	if rp.call(codec.AppendInt32(nil, rpcReset), rpcTimeout) == nil {
+		return fmt.Errorf("core: host of worker %d is dead", rp.w)
+	}
+	return nil
+}
+
+// shutdown tells the host process to exit; best-effort with a short
+// deadline (a dead host already exited, a live one replies instantly).
+func (rp *remoteProg[T]) shutdown() {
+	rp.call(codec.AppendInt32(nil, rpcShutdown), 2*time.Second)
+}
+
+// ServeWorker hosts worker `workerID`'s Program for a parent engine
+// listening at parentAddr: the child half of the two-process plane. The
+// caller must have built the identical partitioned graph (deterministic
+// generators + the same partitioner), mirroring how cluster workers
+// load the same fragment assignment. ServeWorker blocks until the
+// parent sends a shutdown RPC or the link to it is declared dead (the
+// parent exited or the network stayed down past the retry budget).
+func ServeWorker[T any](p *partition.Partitioned, job Job[T], workerID int, parentAddr string, topts TransportOptions) error {
+	if workerID < 0 || workerID >= p.M {
+		return fmt.Errorf("core: ServeWorker: worker %d out of range [0,%d)", workerID, p.M)
+	}
+	if job.EncodeVal == nil || job.DecodeVal == nil {
+		return fmt.Errorf("core: %s: remote hosting requires Job.EncodeVal/DecodeVal", job.Name)
+	}
+	f := p.Frags[workerID]
+	prog := job.New(f)
+	pool := &msgPool[T]{}
+	ctx := newContext[T](f, p.M, pool)
+	host := hostEndpoint(p.M, workerID)
+
+	work := make(chan transport.Frame, 16)
+	dead := make(chan struct{})
+	var deadOnce sync.Once
+	tp, err := transport.Listen(transport.Config{
+		HeartbeatEvery: topts.HeartbeatEvery,
+		SuspectAfter:   topts.SuspectAfter,
+		DeadAfter:      topts.DeadAfter,
+		RetryLimit:     topts.RetryLimit,
+		Retry:          transport.Backoff{Base: topts.RetryBase, Max: topts.RetryMax},
+		OnFrame: func(fr transport.Frame) {
+			if fr.Kind == transport.KindRPC && fr.To == host {
+				select {
+				case work <- fr:
+				case <-dead:
+				}
+			}
+		},
+		OnPeerDead: func(int32, []int32, error) {
+			deadOnce.Do(func() { close(dead) })
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer tp.Close()
+	if err := tp.Dial(host, parentAddr, []int32{host}, []int32{int32(workerID)}); err != nil {
+		return err
+	}
+
+	scratch := make([]VMsg[T], 0, 256)
+	for {
+		var fr transport.Frame
+		select {
+		case fr = <-work:
+		case <-dead:
+			return nil // parent gone: the engine recovered without us
+		}
+		r := codec.NewReader(fr.Payload)
+		op := r.Int32()
+		resp := codec.AppendInt32(nil, op)
+		quit := false
+		switch op {
+		case rpcPEval:
+			ctx.round = r.Int32()
+			prog.PEval(ctx)
+			resp = appendEvalReply(resp, ctx, &job, pool)
+		case rpcIncEval:
+			ctx.round = r.Int32()
+			n := int(r.Uint32())
+			if lim := r.Remaining()/13 + 1; n > lim {
+				return fmt.Errorf("core: ServeWorker: batch claims %d messages, %d bytes remain", n, r.Remaining())
+			}
+			scratch = scratch[:0]
+			for i := 0; i < n && r.Err() == nil; i++ {
+				m := VMsg[T]{V: r.Int32(), Round: r.Int32(), From: r.Int32()}
+				m.Val = job.DecodeVal(r)
+				scratch = append(scratch, m)
+			}
+			if r.Err() != nil {
+				return fmt.Errorf("core: ServeWorker: corrupt IncEval request: %w", r.Err())
+			}
+			prog.IncEval(scratch, ctx)
+			resp = appendEvalReply(resp, ctx, &job, pool)
+		case rpcSnapshot:
+			var state []byte
+			if s, ok := prog.(Snapshotter); ok {
+				state = s.SnapshotState()
+			}
+			resp = codec.AppendBytes(resp, state)
+		case rpcRestore:
+			data := r.Bytes()
+			s, ok := prog.(Snapshotter)
+			if !ok {
+				resp = codec.AppendBool(resp, false)
+				resp = codec.AppendString(resp, "program does not implement Snapshotter")
+				break
+			}
+			if err := s.RestoreState(append([]byte(nil), data...)); err != nil {
+				resp = codec.AppendBool(resp, false)
+				resp = codec.AppendString(resp, err.Error())
+			} else {
+				resp = codec.AppendBool(resp, true)
+				resp = codec.AppendString(resp, "")
+			}
+		case rpcCollect:
+			for v := f.Lo; v < f.Hi; v++ {
+				resp = job.EncodeVal(resp, prog.Get(v))
+			}
+		case rpcReset:
+			prog = job.New(f)
+			ctx = newContext[T](f, p.M, pool)
+		case rpcShutdown:
+			quit = true
+		default:
+			return fmt.Errorf("core: ServeWorker: unknown rpc op %d", op)
+		}
+		if err := tp.Send(host, fr.From, transport.KindRPC, resp); err != nil {
+			return nil // link died under us
+		}
+		if quit {
+			// Give the writer a beat to flush the ack before closing.
+			time.Sleep(50 * time.Millisecond)
+			return nil
+		}
+	}
+}
+
+// appendEvalReply drains ctx's produced messages into an eval reply and
+// recycles the buffers.
+func appendEvalReply[T any](resp []byte, ctx *Context[T], job *Job[T], pool *msgPool[T]) []byte {
+	out, work := ctx.takeOut()
+	resp = codec.AppendInt64(resp, work)
+	nd := 0
+	for _, msgs := range out {
+		if len(msgs) > 0 {
+			nd++
+		}
+	}
+	resp = codec.AppendUint32(resp, uint32(nd))
+	for j, msgs := range out {
+		if len(msgs) == 0 {
+			continue
+		}
+		resp = codec.AppendInt32(resp, int32(j))
+		resp = codec.AppendUint32(resp, uint32(len(msgs)))
+		for _, m := range msgs {
+			resp = codec.AppendInt32(resp, m.V)
+			resp = codec.AppendInt32(resp, m.Round)
+			resp = codec.AppendInt32(resp, m.From)
+			resp = job.EncodeVal(resp, m.Val)
+		}
+		pool.put(msgs)
+	}
+	ctx.ReleaseOut(out)
+	return resp
+}

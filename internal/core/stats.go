@@ -34,6 +34,16 @@ type RunStats struct {
 	CheckpointBytes int64   // cumulative serialized state bytes across sealed snapshots
 	Recoveries      int64   // rollback-and-resume cycles executed
 	RecoverySeconds float64 // wall time spent quiesced in recovery
+
+	// Transport accounting, zero unless the run used the TCP plane
+	// (Options.Transport). WireBytes count real serialized frames —
+	// headers, heartbeats and acks included — as written to / read from
+	// sockets, unlike TotalBytes which is the model's accounted message
+	// size.
+	WireBytesOut      int64
+	WireBytesIn       int64
+	Retries           int64 // reconnect attempts across all links
+	HeartbeatTimeouts int64 // links that entered suspicion at least once
 }
 
 // finalize derives the aggregate fields from the per-worker entries.

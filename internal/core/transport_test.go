@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"aap/internal/algo/cc"
+	"aap/internal/algo/pagerank"
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/gen"
+	"aap/internal/partition"
+)
+
+// tcpOpts runs the engine with every batch and coordinator token
+// traveling the loopback TCP plane instead of in-proc channels.
+func tcpOpts() core.Options {
+	return core.Options{
+		Mode:      core.AAP,
+		Timeout:   time.Minute,
+		Transport: &core.TransportOptions{TCP: true},
+	}
+}
+
+// TestTCPPlaneMatchesInProcSSSP pins the plane-independence contract for
+// the idempotent min-fold kernel: serializing every designated message
+// through the wire format and bouncing it off a real socket must change
+// nothing about the result, bit for bit, at every forced shard count.
+func TestTCPPlaneMatchesInProcSSSP(t *testing.T) {
+	g := gen.PowerLaw(500, 6, 2.1, true, 1)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			base, err := core.Run(p, sssp.JobShards(0, k), core.Options{Mode: core.AAP, Timeout: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(p, sssp.JobShards(0, k), tcpOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.WireBytesOut == 0 || res.Stats.WireBytesIn == 0 {
+				t.Fatalf("TCP run shipped no wire bytes: %+v", res.Stats)
+			}
+			for v := range base.Values {
+				if b, r := base.Values[v], res.Values[v]; b != r && !(math.IsInf(b, 1) && math.IsInf(r, 1)) {
+					t.Fatalf("vertex %d: in-proc %v, tcp %v", v, b, r)
+				}
+			}
+		})
+	}
+}
+
+// TestTCPPlaneMatchesInProcCC repeats the contract for CC's exact int64
+// labels.
+func TestTCPPlaneMatchesInProcCC(t *testing.T) {
+	g := gen.SmallWorld(400, 2, 0.05, false, 2)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			base, err := core.Run(p, cc.JobShards(k), core.Options{Mode: core.AAP, Timeout: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(p, cc.JobShards(k), tcpOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range base.Values {
+				if base.Values[v] != res.Values[v] {
+					t.Fatalf("vertex %d: in-proc %d, tcp %d", v, base.Values[v], res.Values[v])
+				}
+			}
+		})
+	}
+}
+
+// TestTCPPlaneMatchesInProcPageRank allows FP tolerance: AAP folds
+// PageRank's sum aggregate in arrival order, and the wire plane shifts
+// arrival timing — which changes both rounding and WHICH sub-Tol deltas
+// get parked, so per-vertex scores can legitimately differ by a few
+// multiples of the kernel's Tol (1e-6). The bound here is 100×Tol,
+// far below anything a ranking consumer can observe.
+func TestTCPPlaneMatchesInProcPageRank(t *testing.T) {
+	g := gen.PowerLaw(400, 5, 2.2, false, 3)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	base, err := core.Run(p, pagerank.Job(pagerank.Config{}), core.Options{Mode: core.AAP, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, pagerank.Job(pagerank.Config{}), tcpOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range base.Values {
+		d := math.Abs(base.Values[v] - res.Values[v])
+		if rel := d / math.Max(1, math.Abs(base.Values[v])); rel > 1e-4 {
+			t.Fatalf("vertex %d: in-proc %v, tcp %v (rel Δ=%g)", v, base.Values[v], res.Values[v], rel)
+		}
+	}
+}
+
+// TestTCPPlaneChaosKillRecovers combines both robustness layers in one
+// process: the full fault schedule of the chaos tests (checkpoint every
+// round, worker 1 killed at its first incremental round) with every
+// message and token on the wire. Recovery must replay to bit-identical
+// output.
+func TestTCPPlaneChaosKillRecovers(t *testing.T) {
+	g := gen.PowerLaw(500, 6, 2.1, true, 1)
+	p := mustPartition(t, g, 4, partition.Hash{})
+	base, err := core.Run(p, sssp.JobShards(0, 2), core.Options{Mode: core.AAP, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := chaosOpts(42)
+	opts.Transport = &core.TransportOptions{TCP: true}
+	res, err := core.Run(p, sssp.JobShards(0, 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Recoveries < 1 {
+		t.Fatalf("kill scheduled but no recovery ran (recoveries=%d)", res.Stats.Recoveries)
+	}
+	for v := range base.Values {
+		if b, r := base.Values[v], res.Values[v]; b != r && !(math.IsInf(b, 1) && math.IsInf(r, 1)) {
+			t.Fatalf("vertex %d: fault-free %v, tcp-recovered %v", v, b, r)
+		}
+	}
+}
+
+// TestTCPPlaneRequiresCodec: a job without EncodeVal/DecodeVal must fail
+// fast, not panic mid-run.
+func TestTCPPlaneRequiresCodec(t *testing.T) {
+	g := gen.Random(50, 100, true, 7)
+	p := mustPartition(t, g, 2, partition.Hash{})
+	job := sssp.Job(0)
+	job.EncodeVal = nil
+	if _, err := core.Run(p, job, tcpOpts()); err == nil {
+		t.Fatal("TCP run without a value codec succeeded")
+	}
+}

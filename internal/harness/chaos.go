@@ -21,11 +21,17 @@ var ChaosSeeds = []int64{1, 7, 42}
 //   - checkpoint overhead — the same SSSP run with snapshots every
 //     round and every 4 rounds against the plain run, reported as
 //     ns/epoch sealed and bytes/snapshot;
+//
 //   - recovery — for each seed, a run that loses a worker at its first
 //     incremental round, restores from the last sealed snapshot, and
 //     must land bit-identical to the fault-free distances (the
 //     determinism contract for the idempotent min fold); recovery wall
 //     time comes from the engine's quiesce-to-resume clock.
+//
+//   - transport overhead — the same run with every designated batch and
+//     coordinator token codec-encoded onto the loopback TCP plane,
+//     reporting real serialized wire bytes against the in-proc model's
+//     accounted bytes, plus a kill+recovery run over the wire.
 //
 // cmd/aapbench exposes it as -exp chaos.
 func Chaos(workers int, seeds []int64) (string, error) {
@@ -96,6 +102,47 @@ func Chaos(workers int, seeds []int64) (string, error) {
 		}
 	}
 	b.WriteString("\nall recovered runs bit-identical to the fault-free baseline\n")
+
+	b.WriteString("\ntransport plane: loopback TCP, codec-encoded batches + wire coordinator:\n")
+	fmt.Fprintf(&b, "%-22s %10s %12s %12s %9s %8s %12s\n",
+		"run", "time(s)", "wire-out(B)", "wire-in(B)", "retries", "hb-t/o", "recoveries")
+	tcp := plain
+	tcp.Transport = &core.TransportOptions{TCP: true}
+	wire, err := core.Run(p, job, tcp)
+	if err != nil {
+		return "", err
+	}
+	if err := sameDistances(base.Values, wire.Values); err != nil {
+		return "", fmt.Errorf("tcp run diverged from in-proc run: %w", err)
+	}
+	st := wire.Stats
+	fmt.Fprintf(&b, "%-22s %10.3f %12d %12d %9d %8d %12d\n",
+		"tcp", st.Seconds, st.WireBytesOut, st.WireBytesIn, st.Retries, st.HeartbeatTimeouts, st.Recoveries)
+
+	tcpKill := tcp
+	tcpKill.Checkpoint = core.CheckpointOptions{EveryRounds: 1}
+	tcpKill.Faults = &core.Faults{
+		Seed: seeds[len(seeds)-1],
+		Kill: &core.KillSpec{Worker: int(seeds[len(seeds)-1]) % workers, Round: 1},
+	}
+	wk, err := core.Run(p, job, tcpKill)
+	if err != nil {
+		return "", err
+	}
+	if err := sameDistances(base.Values, wk.Values); err != nil {
+		return "", fmt.Errorf("tcp kill+recovery run diverged from fault-free run: %w", err)
+	}
+	if wk.Stats.Recoveries < 1 {
+		return "", fmt.Errorf("tcp run: kill scheduled but no recovery ran")
+	}
+	st = wk.Stats
+	fmt.Fprintf(&b, "%-22s %10.3f %12d %12d %9d %8d %12d\n",
+		fmt.Sprintf("tcp kill seed=%d", tcpKill.Faults.Seed),
+		st.Seconds, st.WireBytesOut, st.WireBytesIn, st.Retries, st.HeartbeatTimeouts, st.Recoveries)
+	fmt.Fprintf(&b, "tcp overhead %.2fx over in-proc; wire bytes vs accounted model bytes %.2fx\n",
+		wire.Stats.Seconds/base.Stats.Seconds,
+		float64(wire.Stats.WireBytesOut)/float64(max(wire.Stats.TotalBytes, 1)))
+	b.WriteString("tcp runs bit-identical to the in-proc fault-free baseline\n")
 	return b.String(), nil
 }
 

@@ -1,0 +1,61 @@
+package transport
+
+import "time"
+
+// Backoff computes the retry schedule for transient link failures:
+// exponential growth from Base capped at Max, with deterministic
+// full-range jitter drawn from splitmix64(Seed, attempt). The schedule
+// is a pure function of (Backoff, attempt) — no shared random stream,
+// no clock — so tests assert exact delays and concurrent links never
+// contend on a generator. Jitter decorrelates reconnect storms: after a
+// coordinator restart every link retries, and identical schedules would
+// reconnect in lockstep.
+type Backoff struct {
+	Base   time.Duration // first delay; default 2ms
+	Max    time.Duration // cap; default 500ms
+	Factor float64       // growth per attempt; default 2
+	Seed   uint64        // jitter stream identity (e.g. link id)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 2 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 500 * time.Millisecond
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	return b
+}
+
+// Delay returns the wait before retry `attempt` (0-based): the capped
+// exponential term, scaled by a jitter factor in [0.5, 1.0] so the
+// expected delay keeps growing while aligned retries spread out.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	h := splitmix64(b.Seed ^ uint64(attempt)*0x9E3779B97F4A7C15)
+	jitter := 0.5 + 0.5*float64(h>>11)/(1<<53) // [0.5, 1.0)
+	return time.Duration(d * jitter)
+}
+
+// splitmix64 is the standard 64-bit finalizer, the same generator the
+// engine's fault injector uses for interleaving-independent verdicts.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

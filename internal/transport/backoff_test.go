@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	b := Backoff{Base: 2 * time.Millisecond, Max: 500 * time.Millisecond, Factor: 2, Seed: 7}
+	for attempt := 0; attempt < 12; attempt++ {
+		if b.Delay(attempt) != b.Delay(attempt) {
+			t.Fatalf("attempt %d: schedule is not a pure function", attempt)
+		}
+	}
+}
+
+func TestBackoffEnvelope(t *testing.T) {
+	b := Backoff{Base: 2 * time.Millisecond, Max: 500 * time.Millisecond, Factor: 2, Seed: 42}
+	prevCeil := time.Duration(0)
+	for attempt := 0; attempt < 16; attempt++ {
+		// The jitter factor lives in [0.5, 1.0), so every delay sits in
+		// [ceil/2, ceil) where ceil is the capped exponential term.
+		ceil := 2 * time.Millisecond
+		for i := 0; i < attempt && ceil < 500*time.Millisecond; i++ {
+			ceil *= 2
+		}
+		if ceil > 500*time.Millisecond {
+			ceil = 500 * time.Millisecond
+		}
+		d := b.Delay(attempt)
+		if d < ceil/2 || d >= ceil {
+			t.Fatalf("attempt %d: delay %v outside jitter envelope [%v, %v)", attempt, d, ceil/2, ceil)
+		}
+		if ceil < prevCeil {
+			t.Fatalf("attempt %d: envelope shrank", attempt)
+		}
+		prevCeil = ceil
+	}
+}
+
+func TestBackoffSeedsDecorrelate(t *testing.T) {
+	// Two links retrying in lockstep must not share a schedule — that is
+	// the whole point of per-link jitter.
+	a := Backoff{Seed: 1}
+	b := Backoff{Seed: 2}
+	same := 0
+	for attempt := 0; attempt < 10; attempt++ {
+		if a.Delay(attempt) == b.Delay(attempt) {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Fatal("seeds 1 and 2 produced identical 10-step schedules")
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(0); d < time.Millisecond || d >= 2*time.Millisecond {
+		t.Fatalf("zero-value first delay %v outside [1ms, 2ms)", d)
+	}
+	if d := b.Delay(1000); d >= 500*time.Millisecond {
+		t.Fatalf("zero-value delay uncapped: %v", d)
+	}
+	if b.Delay(-3) != b.Delay(0) {
+		t.Fatal("negative attempt not clamped to 0")
+	}
+}

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// All detector tests drive the state machine with an explicit fake
+// clock — no sleeps, deterministic transitions.
+
+func TestDetectorLifecycle(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	d := NewDetector(100*time.Millisecond, 300*time.Millisecond)
+
+	// Never observed: silence means nothing, the peer has not joined yet.
+	if got := d.Check(clock.Add(time.Hour)); got != Alive {
+		t.Fatalf("unstarted detector: got %v want alive", got)
+	}
+
+	d.Observe(clock)
+	if got := d.Check(clock.Add(50 * time.Millisecond)); got != Alive {
+		t.Fatalf("within floor: got %v want alive", got)
+	}
+	if got := d.Check(clock.Add(150 * time.Millisecond)); got != Suspect {
+		t.Fatalf("past suspect floor: got %v want suspect", got)
+	}
+	if d.Timeouts() != 1 {
+		t.Fatalf("timeouts after first suspect: got %d want 1", d.Timeouts())
+	}
+	// Staying suspect is not a second timeout.
+	if got := d.Check(clock.Add(200 * time.Millisecond)); got != Suspect {
+		t.Fatalf("still suspect: got %v", got)
+	}
+	if d.Timeouts() != 1 {
+		t.Fatalf("timeouts while suspect: got %d want 1", d.Timeouts())
+	}
+
+	// Traffic revives a suspect.
+	d.Observe(clock.Add(250 * time.Millisecond))
+	if got := d.State(); got != Alive {
+		t.Fatalf("after revive: got %v want alive", got)
+	}
+
+	// Full silence to death. The revive gap (250ms) fed the EWMA, so the
+	// effective deadline is max(DeadAfter, 12 × mean gap) = 3s.
+	if got := d.Check(clock.Add(250*time.Millisecond + 4*time.Second)); got != Dead {
+		t.Fatalf("past dead deadline: got %v want dead", got)
+	}
+	// Dead is terminal: late traffic must not un-kill a reported peer.
+	d.Observe(clock.Add(time.Hour))
+	if got := d.State(); got != Dead {
+		t.Fatalf("observe after dead: got %v want dead", got)
+	}
+	// Reset (reconnect handshake) rearms it.
+	d.Reset(clock.Add(2 * time.Hour))
+	if got := d.State(); got != Alive {
+		t.Fatalf("after reset: got %v want alive", got)
+	}
+}
+
+func TestDetectorPhiStretchesSlowLinks(t *testing.T) {
+	// Heartbeats every 100ms on a link with a 50ms suspect floor: the
+	// phi term (6 × mean gap = 600ms) must dominate the absolute floor,
+	// so the natural cadence never trips suspicion.
+	clock := time.Unix(0, 0)
+	d := NewDetector(50*time.Millisecond, 150*time.Millisecond)
+	for i := 0; i < 20; i++ {
+		clock = clock.Add(100 * time.Millisecond)
+		d.Observe(clock)
+	}
+	if got := d.Check(clock.Add(400 * time.Millisecond)); got != Alive {
+		t.Fatalf("silence under phi deadline on slow link: got %v want alive", got)
+	}
+	if got := d.Check(clock.Add(700 * time.Millisecond)); got != Suspect {
+		t.Fatalf("silence past phi deadline: got %v want suspect", got)
+	}
+	// Death needs 12 × mean gap = 1.2s here.
+	if got := d.Check(clock.Add(1100 * time.Millisecond)); got != Suspect {
+		t.Fatalf("silence under phi death deadline: got %v want suspect", got)
+	}
+	if got := d.Check(clock.Add(1300 * time.Millisecond)); got != Dead {
+		t.Fatalf("silence past phi death deadline: got %v want dead", got)
+	}
+}
+
+func TestDetectorForwardOnlyCheck(t *testing.T) {
+	// Check never moves backward: a detector that reached Suspect stays
+	// suspect when evaluated at an earlier instant (out-of-order timer
+	// fire), rather than flapping.
+	clock := time.Unix(0, 0)
+	d := NewDetector(100*time.Millisecond, time.Hour)
+	d.Observe(clock)
+	if got := d.Check(clock.Add(200 * time.Millisecond)); got != Suspect {
+		t.Fatalf("got %v want suspect", got)
+	}
+	if got := d.Check(clock.Add(10 * time.Millisecond)); got != Suspect {
+		t.Fatalf("earlier check flapped back: got %v want suspect", got)
+	}
+}

@@ -1,0 +1,131 @@
+// Package transport is the pluggable message plane of the engine: the
+// byte-level half of the "multi-process distributed plane" item — a
+// length-prefixed TCP frame protocol with per-link sequence numbers,
+// cumulative acks, replay on reconnect, heartbeat failure detection,
+// and bounded jittered-backoff retry. The engine's in-proc channel path
+// bypasses this package entirely (it is the fast path); the TCP plane
+// codec-encodes message batches at this boundary so communication
+// accounting measures real serialized bytes.
+//
+// The package is deliberately ignorant of the engine's message types:
+// frames carry opaque payloads between int32 endpoint ids. Reliability
+// guarantees (per PR 7's transport contract):
+//
+//   - frames between the same pair of processes are delivered in send
+//     order (TCP FIFO per conn; replay preserves sequence order);
+//   - a frame is delivered at most once (per-sender sequence numbers,
+//     receiver drops already-seen sequences after a reconnect replay);
+//   - a frame handed to Send is delivered eventually, or the link is
+//     declared dead and OnPeerDead fires — nothing is silently lost.
+package transport
+
+import (
+	"fmt"
+
+	"aap/internal/codec"
+)
+
+// Kind discriminates frame roles on the wire.
+type Kind uint8
+
+const (
+	// KindHello opens (or resumes) a link: payload is the link id, the
+	// endpoint ids served by the sender, and the highest sequence number
+	// the sender has delivered from its peer (the resume point).
+	KindHello Kind = 1
+	// KindHelloAck confirms a Hello with the acceptor's own resume state.
+	KindHelloAck Kind = 2
+	// KindData carries an engine message batch (codec-encoded VMsgs).
+	KindData Kind = 3
+	// KindCtrl carries a coordinator protocol token (round / sent /
+	// consumed / active, snapshot announce & seal accounting) or its
+	// reply.
+	KindCtrl Kind = 4
+	// KindRPC carries a remote-worker call (PEval / IncEval / snapshot /
+	// restore / collect) or its response.
+	KindRPC Kind = 5
+	// KindHeartbeat is the liveness beacon; unsequenced, never replayed.
+	KindHeartbeat Kind = 6
+	// KindAck acknowledges delivery up to a cumulative sequence number;
+	// unsequenced.
+	KindAck Kind = 7
+)
+
+// Frame is one unit on the wire.
+//
+// Wire layout (little-endian), after a uint32 length prefix covering
+// everything below:
+//
+//	uint8  kind
+//	int32  from      sending endpoint id
+//	int32  to        destination endpoint id
+//	uint64 seq       per-link sequence number; 0 = unsequenced
+//	...    payload   kind-specific bytes
+type Frame struct {
+	Kind    Kind
+	From    int32
+	To      int32
+	Seq     uint64
+	Payload []byte
+}
+
+// frameHeader is the fixed post-length header size: kind(1) + from(4) +
+// to(4) + seq(8).
+const frameHeader = 17
+
+// DefaultMaxFrame bounds a single frame (length prefix excluded); a
+// length prefix above the limit is rejected before any allocation — the
+// frame-layer mirror of the codec's vecLen header-lie guard.
+const DefaultMaxFrame = 64 << 20
+
+// AppendFrame appends the wire encoding of f, length prefix included.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = codec.AppendUint32(dst, uint32(frameHeader+len(f.Payload)))
+	dst = append(dst, byte(f.Kind))
+	dst = codec.AppendInt32(dst, f.From)
+	dst = codec.AppendInt32(dst, f.To)
+	dst = codec.AppendUint64(dst, f.Seq)
+	return append(dst, f.Payload...)
+}
+
+// EncodedSize returns the on-wire size of a frame with a payload of n
+// bytes, length prefix included.
+func EncodedSize(n int) int { return 4 + frameHeader + n }
+
+// ParseFrame decodes one frame from the front of buf and returns it
+// with the remaining bytes. The Payload aliases buf. A truncated,
+// corrupt, or length-lying prefix returns an error without panicking
+// and without allocating in proportion to the claimed length.
+func ParseFrame(buf []byte, maxFrame int) (Frame, []byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(buf) < 4 {
+		return Frame{}, buf, fmt.Errorf("transport: truncated frame: %d bytes, need 4-byte length prefix", len(buf))
+	}
+	r := codec.NewReader(buf)
+	n := int(r.Uint32())
+	if n < frameHeader {
+		return Frame{}, buf, fmt.Errorf("transport: frame length %d below header size %d", n, frameHeader)
+	}
+	if n > maxFrame {
+		return Frame{}, buf, fmt.Errorf("transport: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	if len(buf)-4 < n {
+		return Frame{}, buf, fmt.Errorf("transport: truncated frame: prefix claims %d bytes, %d available", n, len(buf)-4)
+	}
+	body := buf[4 : 4+n]
+	f := Frame{Kind: Kind(body[0])}
+	br := codec.NewReader(body[1:])
+	f.From = br.Int32()
+	f.To = br.Int32()
+	f.Seq = br.Uint64()
+	if err := br.Err(); err != nil {
+		return Frame{}, buf, err
+	}
+	f.Payload = body[frameHeader:n]
+	if f.Kind < KindHello || f.Kind > KindAck {
+		return Frame{}, buf, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
+	}
+	return f, buf[4+n:], nil
+}

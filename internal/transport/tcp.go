@@ -1,0 +1,796 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aap/internal/codec"
+)
+
+// Config configures a Plane.
+type Config struct {
+	// ListenAddr is the TCP address to accept peers on; "" makes a
+	// dial-only plane (a remote worker host). Use "127.0.0.1:0" for an
+	// ephemeral loopback port.
+	ListenAddr string
+	// MaxFrame bounds one frame; DefaultMaxFrame when zero.
+	MaxFrame int
+	// HeartbeatEvery is the per-link beacon period (default 25ms); it
+	// also paces the failure monitor and ack piggybacking.
+	HeartbeatEvery time.Duration
+	// SuspectAfter / DeadAfter are the detector's absolute silence
+	// floors (defaults 8× and 24× HeartbeatEvery).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// RetryLimit bounds reconnect attempts per outage on the dialing
+	// side of a link (default 8); Retry shapes their backoff schedule.
+	RetryLimit int
+	Retry      Backoff
+	// OnFrame receives every delivered Data/Ctrl/RPC frame, in per-link
+	// send order, each frame at most once. It runs on a reader
+	// goroutine and MUST NOT call Plane.Send synchronously (hand off to
+	// a queue instead): a reader blocked on a full send buffer stops
+	// draining its conn, and two such readers deadlock the loop.
+	OnFrame func(Frame)
+	// OnPeerDead fires once when a link is declared dead: heartbeat
+	// silence past DeadAfter, or reconnect attempts exhausted. served
+	// lists the endpoint ids the dead peer was serving.
+	OnPeerDead func(linkID int32, served []int32, err error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 25 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 8 * c.HeartbeatEvery
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 24 * c.HeartbeatEvery
+	}
+	if c.RetryLimit <= 0 {
+		c.RetryLimit = 8
+	}
+	return c
+}
+
+// Stats is the plane's cumulative wire accounting.
+type Stats struct {
+	WireBytesOut      int64 // frame bytes written, headers included
+	WireBytesIn       int64 // frame bytes read, headers included
+	Retries           int64 // reconnect attempts after a link outage
+	HeartbeatTimeouts int64 // detector Alive→Suspect transitions
+}
+
+// Plane is one process's attachment to the TCP message plane: a
+// listener (optional), a set of links to peers, and a routing table
+// from endpoint id to link. Frames sent to an endpoint id are written
+// to its link with a per-link sequence number; the receiving plane
+// deduplicates and dispatches them to OnFrame in order.
+type Plane struct {
+	cfg Config
+	ln  net.Listener
+
+	mu          sync.Mutex
+	cond        *sync.Cond // broadcast on route-table changes
+	dialLinks   map[int32]*link
+	acceptLinks map[int32]*link
+	routes      map[int32]*link
+	closed      bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	wireOut atomic.Int64
+	wireIn  atomic.Int64
+	retries atomic.Int64
+}
+
+// link is one reliable duplex stream to a peer. The sequenced outbound
+// queue `out` holds every frame not yet cumulatively acked: frames
+// [0, nextSend) are written-but-unacked (replayed after a reconnect),
+// [nextSend, len) are pending. Acks prune the prefix.
+type link struct {
+	p        *Plane
+	id       int32
+	dialAddr string  // non-empty on the side that dials (and re-dials)
+	served   []int32 // endpoint ids the peer serves (routes to this link)
+	serve    []int32 // endpoint ids this side serves (re-announced on Hello)
+
+	mu         sync.Mutex
+	conn       net.Conn
+	connGen    uint64
+	out        []Frame
+	nextSend   int
+	seq        uint64 // last sequence number assigned
+	baseSeq    uint64 // seq of out[0] minus 1 (acked prefix dropped)
+	lastRecv   uint64 // inbound dedup high-water mark
+	unacked    int    // inbound frames since the last ack we sent
+	hbPending  bool
+	ackPending bool
+	det        *Detector
+	dead       bool
+	deadErr    error
+	redialing  bool
+
+	notify chan struct{}
+	wbuf   []byte // writer's encode scratch
+}
+
+// Listen creates a plane. With a ListenAddr it accepts peers
+// immediately; links are added with Dial (outbound) or by inbound
+// Hello handshakes.
+func Listen(cfg Config) (*Plane, error) {
+	cfg = cfg.withDefaults()
+	if cfg.OnFrame == nil {
+		return nil, fmt.Errorf("transport: Config.OnFrame is required")
+	}
+	p := &Plane{
+		cfg:         cfg,
+		dialLinks:   make(map[int32]*link),
+		acceptLinks: make(map[int32]*link),
+		routes:      make(map[int32]*link),
+		done:        make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, err
+		}
+		p.ln = ln
+		p.wg.Add(1)
+		go p.acceptLoop()
+	}
+	return p, nil
+}
+
+// Addr returns the listen address, "" for a dial-only plane.
+func (p *Plane) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Stats returns the cumulative wire accounting across all links.
+func (p *Plane) Stats() Stats {
+	s := Stats{
+		WireBytesOut: p.wireOut.Load(),
+		WireBytesIn:  p.wireIn.Load(),
+		Retries:      p.retries.Load(),
+	}
+	p.mu.Lock()
+	for _, l := range p.dialLinks {
+		l.mu.Lock()
+		s.HeartbeatTimeouts += l.det.Timeouts()
+		l.mu.Unlock()
+	}
+	for _, l := range p.acceptLinks {
+		l.mu.Lock()
+		s.HeartbeatTimeouts += l.det.Timeouts()
+		l.mu.Unlock()
+	}
+	p.mu.Unlock()
+	return s
+}
+
+// Dial opens link id to addr. serve lists the endpoint ids THIS side
+// hosts over the link (the peer routes them back to us); route lists
+// the peer's endpoint ids (registered into our routing table). The
+// initial connect runs the same bounded-backoff schedule reconnects
+// use, so a worker process can dial a coordinator that is still
+// binding its listener.
+func (p *Plane) Dial(id int32, addr string, serve, route []int32) error {
+	l := &link{
+		p:        p,
+		id:       id,
+		dialAddr: addr,
+		serve:    serve,
+		det:      NewDetector(p.cfg.SuspectAfter, p.cfg.DeadAfter),
+		notify:   make(chan struct{}, 1),
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("transport: plane closed")
+	}
+	if _, ok := p.dialLinks[id]; ok {
+		p.mu.Unlock()
+		return fmt.Errorf("transport: link %d already dialed", id)
+	}
+	p.dialLinks[id] = l
+	p.mu.Unlock()
+
+	conn, br, lastRecv, err := l.dialAndShake(serve)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.attachLocked(conn, br, lastRecv)
+	l.mu.Unlock()
+
+	p.mu.Lock()
+	for _, r := range route {
+		p.routes[r] = l
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	p.wg.Add(2)
+	go l.writer()
+	go l.ticker()
+	return nil
+}
+
+// dialAndShake runs the bounded connect/handshake schedule and returns
+// the peer's resume point (the highest seq it has delivered from us)
+// plus the handshake's buffered reader, which may already hold frames
+// the peer pipelined behind its HelloAck.
+func (l *link) dialAndShake(serve []int32) (net.Conn, *bufio.Reader, uint64, error) {
+	bo := l.p.cfg.Retry
+	bo.Seed ^= splitmix64(uint64(l.id) + 1)
+	var lastErr error
+	for attempt := 0; attempt < l.p.cfg.RetryLimit; attempt++ {
+		if attempt > 0 {
+			l.p.retries.Add(1)
+			select {
+			case <-time.After(bo.Delay(attempt - 1)):
+			case <-l.p.done:
+				return nil, nil, 0, fmt.Errorf("transport: plane closed during dial")
+			}
+		}
+		conn, err := net.DialTimeout("tcp", l.dialAddr, time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		br, resume, err := l.shake(conn, serve)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		return conn, br, resume, nil
+	}
+	return nil, nil, 0, fmt.Errorf("transport: link %d to %s failed after %d attempts: %w",
+		l.id, l.dialAddr, l.p.cfg.RetryLimit, lastErr)
+}
+
+// shake performs the dialer half of the handshake on a fresh conn:
+// Hello{link, our inbound high-water, served ids} out, HelloAck{link,
+// peer's inbound high-water} back. The returned reader MUST be handed
+// to the conn's frame reader: the peer starts writing frames the
+// instant it sends the HelloAck, so the buffered read that captured the
+// ack may already hold the first of them — constructing a fresh buffer
+// on the conn would silently drop those bytes (and with them a seq the
+// cumulative-ack protocol would then confirm without ever delivering).
+func (l *link) shake(conn net.Conn, serve []int32) (*bufio.Reader, uint64, error) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	l.mu.Lock()
+	hello := codec.AppendInt32(nil, l.id)
+	hello = codec.AppendUint64(hello, l.lastRecv)
+	hello = codec.AppendInt32s(hello, serve)
+	l.mu.Unlock()
+	buf := AppendFrame(nil, Frame{Kind: KindHello, Payload: hello})
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write(buf); err != nil {
+		return nil, 0, err
+	}
+	l.p.wireOut.Add(int64(len(buf)))
+	br := bufio.NewReaderSize(conn, 1<<16)
+	f, err := readFrame(br, l.p.cfg.MaxFrame, &l.p.wireIn)
+	if err != nil {
+		return nil, 0, err
+	}
+	if f.Kind != KindHelloAck {
+		return nil, 0, fmt.Errorf("transport: link %d: want HelloAck, got kind %d", l.id, f.Kind)
+	}
+	r := codec.NewReader(f.Payload)
+	if got := r.Int32(); got != l.id {
+		return nil, 0, fmt.Errorf("transport: link %d: HelloAck for link %d", l.id, got)
+	}
+	resume := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	conn.SetDeadline(time.Time{})
+	return br, resume, nil
+}
+
+// attachLocked installs a live conn: prunes frames the peer confirmed,
+// rewinds nextSend so everything unconfirmed replays in order, rearms
+// the detector, and wakes the writer. br is the handshake's buffered
+// reader (see shake for why it must carry over). Caller holds l.mu.
+func (l *link) attachLocked(conn net.Conn, br *bufio.Reader, peerSeen uint64) {
+	l.pruneLocked(peerSeen)
+	l.nextSend = 0 // replay everything the peer has not confirmed
+	l.conn = conn
+	l.connGen++
+	l.det.Reset(time.Now())
+	gen := l.connGen
+	l.p.wg.Add(1)
+	go l.reader(conn, br, gen)
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pruneLocked drops the acked prefix of the outbound queue.
+func (l *link) pruneLocked(upto uint64) {
+	k := 0
+	for k < len(l.out) && l.out[k].Seq <= upto {
+		k++
+	}
+	if k > 0 {
+		rest := len(l.out) - k
+		copy(l.out, l.out[k:])
+		for i := rest; i < len(l.out); i++ {
+			l.out[i] = Frame{}
+		}
+		l.out = l.out[:rest]
+		l.nextSend -= k
+		if l.nextSend < 0 {
+			l.nextSend = 0
+		}
+		l.baseSeq = upto
+	}
+}
+
+// Send enqueues a sequenced frame for endpoint `to` and returns
+// immediately; the link's writer goroutine drains the queue. An error
+// means the frame will never be delivered: no route is registered for
+// `to`, or its link is dead (OnPeerDead has fired or is firing).
+func (p *Plane) Send(from, to int32, kind Kind, payload []byte) error {
+	p.mu.Lock()
+	l := p.routes[to]
+	p.mu.Unlock()
+	if l == nil {
+		return fmt.Errorf("transport: no route to endpoint %d", to)
+	}
+	l.mu.Lock()
+	if l.dead {
+		err := l.deadErr
+		l.mu.Unlock()
+		return fmt.Errorf("transport: link %d dead: %w", l.id, err)
+	}
+	l.seq++
+	l.out = append(l.out, Frame{Kind: kind, From: from, To: to, Seq: l.seq, Payload: payload})
+	l.mu.Unlock()
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// WaitRoute blocks until a route for endpoint id exists (a peer serving
+// it completed its handshake) or the timeout expires.
+func (p *Plane) WaitRoute(id int32, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	// cond has no timed wait; poll with short sleeps — WaitRoute runs
+	// once per remote worker at startup, never on the hot path.
+	for {
+		p.mu.Lock()
+		_, ok := p.routes[id]
+		closed := p.closed
+		p.mu.Unlock()
+		if ok {
+			return nil
+		}
+		if closed {
+			return fmt.Errorf("transport: plane closed")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: no peer serving endpoint %d after %v", id, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close tears the plane down: listener, conns, goroutines. It does not
+// fire OnPeerDead.
+func (p *Plane) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	links := make([]*link, 0, len(p.dialLinks)+len(p.acceptLinks))
+	for _, l := range p.dialLinks {
+		links = append(links, l)
+	}
+	for _, l := range p.acceptLinks {
+		links = append(links, l)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	for _, l := range links {
+		l.mu.Lock()
+		if l.conn != nil {
+			l.conn.Close()
+		}
+		l.mu.Unlock()
+		select {
+		case l.notify <- struct{}{}:
+		default:
+		}
+	}
+	p.wg.Wait()
+	return nil
+}
+
+// acceptLoop admits inbound peers: every conn must open with a Hello
+// naming its link id; a re-Hello for a known link is a reconnect and
+// resumes its sequence state.
+func (p *Plane) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			// Transient accept errors (EMFILE etc.): keep serving.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		p.wg.Add(1)
+		go p.admit(conn)
+	}
+}
+
+// admit runs the acceptor half of the handshake.
+func (p *Plane) admit(conn net.Conn) {
+	defer p.wg.Done()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	// br carries over to the attached reader: the dialer is free to
+	// pipeline frames behind its Hello, and the read that captured the
+	// Hello may have buffered them already (see shake).
+	br := bufio.NewReaderSize(conn, 1<<16)
+	f, err := readFrame(br, p.cfg.MaxFrame, &p.wireIn)
+	if err != nil || f.Kind != KindHello {
+		conn.Close()
+		return
+	}
+	r := codec.NewReader(f.Payload)
+	id := r.Int32()
+	peerSeen := r.Uint64()
+	served := r.Int32s()
+	if r.Err() != nil {
+		conn.Close()
+		return
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	l := p.acceptLinks[id]
+	fresh := l == nil
+	if fresh {
+		l = &link{
+			p:      p,
+			id:     id,
+			served: served,
+			det:    NewDetector(p.cfg.SuspectAfter, p.cfg.DeadAfter),
+			notify: make(chan struct{}, 1),
+		}
+		p.acceptLinks[id] = l
+	}
+	for _, s := range served {
+		p.routes[s] = l
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	l.mu.Lock()
+	if l.dead {
+		// The peer was declared dead and reported; a late reconnect
+		// cannot rejoin this run.
+		l.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if l.conn != nil {
+		l.conn.Close() // replaced by the reconnect
+	}
+	ack := codec.AppendInt32(nil, id)
+	ack = codec.AppendUint64(ack, l.lastRecv)
+	buf := AppendFrame(nil, Frame{Kind: KindHelloAck, Payload: ack})
+	if _, err := conn.Write(buf); err != nil {
+		l.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.wireOut.Add(int64(len(buf)))
+	conn.SetDeadline(time.Time{})
+	l.attachLocked(conn, br, peerSeen)
+	l.mu.Unlock()
+
+	if fresh {
+		p.wg.Add(2)
+		go l.writer()
+		go l.ticker()
+	}
+}
+
+// writer drains the link's work: pending acks and heartbeats first
+// (unsequenced, never replayed), then the sequenced queue in order.
+// Frames are encoded under the link lock and written outside it, so a
+// conn blocked on TCP backpressure never blocks Send.
+func (l *link) writer() {
+	defer l.p.wg.Done()
+	for {
+		select {
+		case <-l.notify:
+		case <-l.p.done:
+			return
+		}
+		for {
+			l.mu.Lock()
+			if l.dead {
+				l.mu.Unlock()
+				return
+			}
+			conn := l.conn
+			gen := l.connGen
+			if conn == nil {
+				l.mu.Unlock()
+				break
+			}
+			l.wbuf = l.wbuf[:0]
+			if l.ackPending {
+				l.ackPending = false
+				l.unacked = 0
+				pl := codec.AppendUint64(nil, l.lastRecv)
+				l.wbuf = AppendFrame(l.wbuf, Frame{Kind: KindAck, Payload: pl})
+			}
+			if l.hbPending {
+				l.hbPending = false
+				l.wbuf = AppendFrame(l.wbuf, Frame{Kind: KindHeartbeat})
+			}
+			for l.nextSend < len(l.out) && len(l.wbuf) < 1<<16 {
+				l.wbuf = AppendFrame(l.wbuf, l.out[l.nextSend])
+				l.nextSend++
+			}
+			buf := l.wbuf
+			l.mu.Unlock()
+			if len(buf) == 0 {
+				break
+			}
+			if _, err := conn.Write(buf); err != nil {
+				l.connBroken(gen, err)
+				break
+			}
+			l.p.wireOut.Add(int64(len(buf)))
+		}
+	}
+}
+
+// ticker paces heartbeats (with a piggybacked cumulative ack) and runs
+// the failure monitor.
+func (l *link) ticker() {
+	defer l.p.wg.Done()
+	t := time.NewTicker(l.p.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-l.p.done:
+			return
+		}
+		l.mu.Lock()
+		if l.dead {
+			l.mu.Unlock()
+			return
+		}
+		l.hbPending = true
+		if l.lastRecv > 0 {
+			l.ackPending = true
+		}
+		st := l.det.Check(time.Now())
+		l.mu.Unlock()
+		select {
+		case l.notify <- struct{}{}:
+		default:
+		}
+		if st == Dead {
+			l.declareDead(fmt.Errorf("transport: link %d: no traffic for %v (heartbeat timeout)",
+				l.id, l.p.cfg.DeadAfter))
+			return
+		}
+	}
+}
+
+// reader drains one conn: observes the detector, deduplicates sequenced
+// frames, prunes on acks, and dispatches payloads to OnFrame in order.
+func (l *link) reader(conn net.Conn, br *bufio.Reader, gen uint64) {
+	defer l.p.wg.Done()
+	for {
+		f, err := readFrame(br, l.p.cfg.MaxFrame, &l.p.wireIn)
+		if err != nil {
+			l.connBroken(gen, err)
+			return
+		}
+		l.mu.Lock()
+		if l.connGen != gen {
+			l.mu.Unlock()
+			return // a reconnect superseded this conn
+		}
+		l.det.Observe(time.Now())
+		deliver := true
+		if f.Seq != 0 {
+			if f.Seq <= l.lastRecv {
+				deliver = false // duplicate from a replay: idempotent drop
+			} else {
+				l.lastRecv = f.Seq
+				l.unacked++
+				if l.unacked >= 32 {
+					l.ackPending = true
+					select {
+					case l.notify <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}
+		var ackTo uint64
+		if f.Kind == KindAck {
+			r := codec.NewReader(f.Payload)
+			ackTo = r.Uint64()
+			if r.Err() == nil {
+				l.pruneLocked(ackTo)
+			}
+			deliver = false
+		}
+		l.mu.Unlock()
+		switch f.Kind {
+		case KindHeartbeat, KindAck, KindHello, KindHelloAck:
+			// Link-layer traffic: the Observe above was its whole job.
+		default:
+			if deliver {
+				l.p.cfg.OnFrame(f)
+			}
+		}
+	}
+}
+
+// connBroken handles a conn failure observed by the reader or writer of
+// generation gen: the dialing side starts the bounded-backoff redial
+// loop; the accepting side detaches and waits for a re-Hello, bounded
+// by the detector's death clock.
+func (l *link) connBroken(gen uint64, err error) {
+	select {
+	case <-l.p.done:
+		return
+	default:
+	}
+	l.mu.Lock()
+	if l.connGen != gen || l.dead {
+		l.mu.Unlock()
+		return
+	}
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	redial := l.dialAddr != "" && !l.redialing
+	if redial {
+		l.redialing = true
+	}
+	l.mu.Unlock()
+	if !redial {
+		return
+	}
+	l.p.wg.Add(1)
+	go func() {
+		defer l.p.wg.Done()
+		conn, br, resume, derr := l.dialAndShake(l.serve)
+		if derr != nil {
+			l.declareDead(fmt.Errorf("transport: link %d reconnect failed: %w", l.id, derr))
+			return
+		}
+		l.mu.Lock()
+		l.redialing = false
+		if l.dead || l.p.isClosed() {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.attachLocked(conn, br, resume)
+		l.mu.Unlock()
+	}()
+}
+
+func (p *Plane) isClosed() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// declareDead marks the link dead, drops its queue, and reports the
+// peer exactly once.
+func (l *link) declareDead(err error) {
+	l.mu.Lock()
+	if l.dead {
+		l.mu.Unlock()
+		return
+	}
+	l.dead = true
+	l.deadErr = err
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.out = nil
+	l.nextSend = 0
+	served := l.served
+	l.mu.Unlock()
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+	if l.p.cfg.OnPeerDead != nil && !l.p.isClosed() {
+		l.p.cfg.OnPeerDead(l.id, served, err)
+	}
+}
+
+// readFrame reads one length-prefixed frame from br, charging wireIn.
+func readFrame(br *bufio.Reader, maxFrame int, wireIn *atomic.Int64) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	if n < frameHeader {
+		return Frame{}, fmt.Errorf("transport: frame length %d below header size %d", n, frameHeader)
+	}
+	if n > maxFrame {
+		return Frame{}, fmt.Errorf("transport: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return Frame{}, err
+	}
+	wireIn.Add(int64(4 + n))
+	f := Frame{Kind: Kind(body[0])}
+	r := codec.NewReader(body[1:])
+	f.From = r.Int32()
+	f.To = r.Int32()
+	f.Seq = r.Uint64()
+	if err := r.Err(); err != nil {
+		return Frame{}, err
+	}
+	if f.Kind < KindHello || f.Kind > KindAck {
+		return Frame{}, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
+	}
+	f.Payload = body[frameHeader:]
+	return f, nil
+}
