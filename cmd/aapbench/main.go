@@ -25,6 +25,11 @@ import (
 )
 
 func main() {
+	// The chaos experiment's durability section re-execs this binary as
+	// a SIGKILL victim; the child is selected purely by environment, so
+	// check before flags.
+	harness.DurableChildMain()
+
 	exp := flag.String("exp", "all", "experiment to run (table1, fig1, fig6a..fig6l, fig7, exp2, cfcase, ingest, chaos, all)")
 	workersFlag := flag.String("workers", "16,32,48,64", "comma-separated worker counts for figure sweeps")
 	tableWorkers := flag.Int("table-workers", 32, "worker count for table1/exp2")

@@ -10,9 +10,12 @@
 //	grapecli -graph g.txt -algo pagerank -mode ap
 //	grapecli -graph g.txt -algo sssp -checkpoint-every 1 -fault-seed 42
 //	grapecli -graph g.txt -algo cc -transport tcp
+//	grapecli -graph g.txt -algo sssp -checkpoint-dir /tmp/ckpt
+//	grapecli -graph g.txt -algo sssp -checkpoint-dir /tmp/ckpt -resume
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +25,7 @@ import (
 	"aap/internal/algo/cc"
 	"aap/internal/algo/pagerank"
 	"aap/internal/algo/sssp"
+	"aap/internal/checkpoint"
 	"aap/internal/core"
 	"aap/internal/graph"
 	"aap/internal/partition"
@@ -41,6 +45,10 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "seal a Chandy-Lamport snapshot every N incremental rounds (0: checkpointing off)")
 	faultSeed := flag.Int64("fault-seed", 0, "seeded chaos run: kill worker seed%workers at its first incremental round and recover (0: no faults; implies -checkpoint-every 1)")
 	transportName := flag.String("transport", "inproc", "message plane: inproc, tcp (loopback TCP with codec-encoded batches)")
+	checkpointDir := flag.String("checkpoint-dir", "", "tee sealed snapshots to durable records in this directory (implies -checkpoint-every 1 when unset)")
+	syncEvery := flag.Int("sync-every", 1, "fsync every Nth durable record write (1: every write)")
+	retain := flag.Int("retain", 3, "keep the newest K durable epochs on disk (min 2)")
+	resume := flag.Bool("resume", false, "restart from the newest sealed epoch in -checkpoint-dir instead of running from scratch")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -104,6 +112,17 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown transport %q", *transportName))
 	}
+	if *resume && *checkpointDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+	if *checkpointDir != "" {
+		if opts.Checkpoint.EveryRounds == 0 {
+			opts.Checkpoint.EveryRounds = 1
+		}
+		opts.Checkpoint.Dir = *checkpointDir
+		opts.Checkpoint.SyncEvery = *syncEvery
+		opts.Checkpoint.Retain = *retain
+	}
 
 	var lines []string
 	var stats core.RunStats
@@ -114,28 +133,19 @@ func main() {
 			fatal(err)
 		}
 		cfg := sssp.Config{Source: graph.VertexID(*source), Delta: *delta, Kernel: kernel}
-		res, err := core.Run(p, sssp.JobConfig(cfg), opts)
-		if err != nil {
-			fatal(err)
-		}
+		res := execute(p, sssp.JobConfig(cfg), opts, *resume)
 		stats = res.Stats
 		for v, d := range res.Values {
 			lines = append(lines, fmt.Sprintf("%d %g", p.G.IDOf(int32(v)), d))
 		}
 	case "cc":
-		res, err := core.Run(p, cc.Job(), opts)
-		if err != nil {
-			fatal(err)
-		}
+		res := execute(p, cc.Job(), opts, *resume)
 		stats = res.Stats
 		for v, c := range res.Values {
 			lines = append(lines, fmt.Sprintf("%d %d", p.G.IDOf(int32(v)), c))
 		}
 	case "pagerank":
-		res, err := core.Run(p, pagerank.Job(pagerank.Config{}), opts)
-		if err != nil {
-			fatal(err)
-		}
+		res := execute(p, pagerank.Job(pagerank.Config{}), opts, *resume)
 		stats = res.Stats
 		for v, s := range res.Values {
 			lines = append(lines, fmt.Sprintf("%d %g", p.G.IDOf(int32(v)), s))
@@ -153,6 +163,13 @@ func main() {
 	if stats.Checkpoints > 0 || stats.Recoveries > 0 {
 		fmt.Printf("checkpoints %d (%d bytes), recoveries %d (%.3fms quiesced)\n",
 			stats.Checkpoints, stats.CheckpointBytes, stats.Recoveries, stats.RecoverySeconds*1e3)
+	}
+	if *resume {
+		fmt.Printf("resumed from epoch %d: %d bytes read in %.1fms\n",
+			stats.ResumeEpoch, stats.ResumeBytes, stats.ResumeSeconds*1e3)
+	}
+	if stats.DurableBytes > 0 {
+		fmt.Printf("durable: %d bytes written, %d fsyncs\n", stats.DurableBytes, stats.FsyncCount)
 	}
 	if stats.WireBytesOut > 0 || stats.WireBytesIn > 0 {
 		fmt.Printf("wire: %d bytes out, %d bytes in, %d retries, %d heartbeat timeouts\n",
@@ -181,6 +198,29 @@ func parseMode(s string) (core.Mode, error) {
 	default:
 		return 0, fmt.Errorf("unknown mode %q", s)
 	}
+}
+
+// execute runs (or resumes) one job. A resume against a directory with
+// no decodable sealed record is its own failure mode — the operator
+// should rerun without -resume — and gets a distinct message and exit
+// code 3 so scripts can tell it apart from an ordinary failed run.
+func execute[T any](p *partition.Partitioned, job core.Job[T], opts core.Options, resume bool) *core.Result[T] {
+	var res *core.Result[T]
+	var err error
+	if resume {
+		res, err = core.Resume(p, job, opts)
+	} else {
+		res, err = core.Run(p, job, opts)
+	}
+	if err != nil {
+		if errors.Is(err, checkpoint.ErrNoSealedEpoch) {
+			fmt.Fprintf(os.Stderr, "grapecli: nothing to resume: no usable sealed epoch in %s (run without -resume to start fresh)\n",
+				opts.Checkpoint.Dir)
+			os.Exit(3)
+		}
+		fatal(err)
+	}
+	return res
 }
 
 func fatal(err error) {

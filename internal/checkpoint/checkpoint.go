@@ -21,10 +21,18 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrFutureEpoch is returned by Record when a worker offers a cut for an
+// epoch that has never been announced. A record from the future would
+// let a buggy caller seal a snapshot no marker ever propagated, so the
+// store rejects it by name and the engine can tell the misuse apart from
+// the benign already-sealed race.
+var ErrFutureEpoch = errors.New("checkpoint: record for an unannounced future epoch")
 
 // Flight is channel state crossing the cut: messages that were sent
 // before the sender recorded epoch e but drained after the receiver
@@ -72,6 +80,36 @@ type Store[M any] struct {
 
 	sealedCount atomic.Int64 // snapshots sealed over the run
 	sealedBytes atomic.Int64 // cumulative serialized state bytes sealed
+
+	onSeal func(*Snapshot[M]) // seal tee, see SetOnSeal
+}
+
+// SetOnSeal registers fn to run with every snapshot the moment it seals
+// (the durable tee). fn is called with the store's lock held, on the
+// goroutine that completed the seal: it must be O(1) and non-blocking —
+// hand the snapshot to a channel, don't write it to disk inline.
+func (s *Store[M]) SetOnSeal(fn func(*Snapshot[M])) {
+	s.mu.Lock()
+	s.onSeal = fn
+	s.mu.Unlock()
+}
+
+// Seed installs snap as the store's sealed snapshot without counting it
+// toward SealedCount/SealedBytes: the resume path re-enters the seal
+// protocol exactly where the writing run left it, so the next Announce
+// starts epoch snap.Epoch+1 and rollback falls back to snap until a
+// newer epoch seals.
+func (s *Store[M]) Seed(snap *Snapshot[M]) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = snap
+	s.sealedEpoch.Store(snap.Epoch)
+	s.announced.Store(snap.Epoch)
+	for i := range s.recorded {
+		s.recorded[i] = snap.Epoch
+	}
+	s.pending = nil
+	s.outstanding = make(map[int32]int)
 }
 
 // SealedCount returns how many snapshots have sealed over the run.
@@ -127,6 +165,9 @@ func (s *Store[M]) SealedEpoch() int32 { return s.sealedEpoch.Load() }
 func (s *Store[M]) Record(w, epoch int32, state []byte, rounds int32, pevalDone bool, inFlight []Flight[M]) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if a := s.announced.Load(); epoch > a {
+		return fmt.Errorf("%w: worker %d offered epoch %d, announced %d", ErrFutureEpoch, w, epoch, a)
+	}
 	if s.pending == nil || s.pending.Epoch != epoch {
 		return fmt.Errorf("checkpoint: record for epoch %d but pending is %v", epoch, s.pendingEpochLocked())
 	}
@@ -234,4 +275,7 @@ func (s *Store[M]) trySealLocked() {
 	s.sealedEpoch.Store(e)
 	s.sealedCount.Add(1)
 	s.sealedBytes.Add(int64(s.sealed.Bytes()))
+	if s.onSeal != nil {
+		s.onSeal(s.sealed)
+	}
 }

@@ -1,0 +1,358 @@
+// Durable mirrors the Store's seal protocol onto disk so a run survives
+// the death of the whole process, not just a worker: every sealed
+// snapshot becomes one crash-consistent record file, and a restarted
+// process resumes from the newest record that still decodes.
+//
+// On-disk layout of a checkpoint directory:
+//
+//	ep-0000000001.ckpt    record: envelope + snapshot payload
+//	ep-0000000002.ckpt
+//	ep-0000000003.ckpt    (newest sealed epoch)
+//	MANIFEST              envelope + (newest epoch, retained epochs)
+//	*.tmp                 in-progress writes, ignored by readers
+//
+// Every file carries the same 20-byte envelope — magic, format version,
+// epoch, payload length, CRC32 (IEEE) of the payload — so a torn tail,
+// a bit flip, or a length-lying header is detected before any payload
+// byte is trusted. Writes are crash-consistent by construction: the
+// bytes go to a .tmp sibling first, are fsync'd (per the SyncEvery
+// policy), and land under their final name with an atomic rename
+// followed by a directory fsync. A reader therefore never observes a
+// half-written record under a record name; the worst a crash leaves
+// behind is a stale .tmp and a missing newest epoch, both of which the
+// open path tolerates by falling back to the previous sealed record.
+package checkpoint
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aap/internal/codec"
+)
+
+const (
+	recordMagic    = 0x43504141 // "AAPC" little-endian: checkpoint record
+	manifestMagic  = 0x4d504141 // "AAPM" little-endian: manifest
+	durableVersion = 1
+	envelopeBytes  = 20
+)
+
+// manifestName is the fixed name of the manifest file inside a
+// checkpoint directory.
+const manifestName = "MANIFEST"
+
+// ErrNoSealedEpoch is returned when a checkpoint directory holds no
+// record that decodes cleanly — nothing to resume from.
+var ErrNoSealedEpoch = fmt.Errorf("checkpoint: no usable sealed epoch")
+
+// DurableOptions tunes the file-backed store.
+type DurableOptions struct {
+	// SyncEvery fsyncs every Nth record write (1 = every write, the
+	// default). Between synced writes the data still goes through the
+	// temp-file + atomic-rename dance, so a crash can lose at most the
+	// last SyncEvery-1 epochs to the page cache — never corrupt one.
+	SyncEvery int
+	// Retain keeps the newest K epochs on disk and prunes older record
+	// files. Defaults to 3; the floor is 2 so a corruption of the
+	// newest record always leaves a fallback.
+	Retain int
+}
+
+func (o DurableOptions) withDefaults() DurableOptions {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.Retain <= 0 {
+		o.Retain = 3
+	}
+	if o.Retain < 2 {
+		o.Retain = 2
+	}
+	return o
+}
+
+// DurableStore persists sealed snapshots as per-epoch record files in
+// one directory. It is safe for concurrent use, and a reader in another
+// process may poll the same directory while this store writes.
+type DurableStore struct {
+	dir  string
+	opts DurableOptions
+
+	mu     sync.Mutex
+	epochs []int32 // retained epochs, ascending
+	writes int64   // WriteEpoch calls, drives the SyncEvery policy
+
+	fsyncs atomic.Int64
+	bytes  atomic.Int64
+}
+
+// OpenDurable opens (creating if needed) a checkpoint directory. It
+// scans for existing record files but does not validate their contents;
+// NewestSealed validates lazily, per candidate, so a corrupt record
+// costs nothing until someone tries to resume from it.
+func OpenDurable(dir string, opts DurableOptions) (*DurableStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open durable dir: %w", err)
+	}
+	d := &DurableStore{dir: dir, opts: opts.withDefaults()}
+	d.epochs = scanEpochs(dir)
+	return d, nil
+}
+
+// Dir returns the directory this store writes to.
+func (d *DurableStore) Dir() string { return d.dir }
+
+// FsyncCount returns how many fsync syscalls the store has issued.
+func (d *DurableStore) FsyncCount() int64 { return d.fsyncs.Load() }
+
+// BytesWritten returns the cumulative record + manifest bytes written.
+func (d *DurableStore) BytesWritten() int64 { return d.bytes.Load() }
+
+// RecordFile returns the file name of epoch's record inside a
+// checkpoint directory; exported so tests and chaos harnesses can
+// corrupt a specific record.
+func RecordFile(epoch int32) string {
+	return fmt.Sprintf("ep-%010d.ckpt", epoch)
+}
+
+// ManifestFile returns the manifest's file name inside a checkpoint
+// directory.
+func ManifestFile() string { return manifestName }
+
+func parseRecordName(name string) (int32, bool) {
+	var e int32
+	if n, err := fmt.Sscanf(name, "ep-%d.ckpt", &e); n != 1 || err != nil || e <= 0 {
+		return 0, false
+	}
+	if RecordFile(e) != name {
+		return 0, false
+	}
+	return e, true
+}
+
+func scanEpochs(dir string) []int32 {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var es []int32
+	for _, ent := range ents {
+		if e, ok := parseRecordName(ent.Name()); ok {
+			es = append(es, e)
+		}
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+	return es
+}
+
+// WriteEpoch persists one sealed epoch's payload as a record file,
+// prunes epochs beyond the retention window, and rewrites the manifest
+// to name the newest sealed epoch. Re-writing an existing epoch (a
+// resumed run re-sealing past a corrupt tail) atomically replaces it.
+func (d *DurableStore) WriteEpoch(epoch int32, payload []byte) error {
+	if epoch <= 0 {
+		return fmt.Errorf("checkpoint: cannot persist epoch %d", epoch)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sync := d.writes%int64(d.opts.SyncEvery) == 0
+	d.writes++
+
+	rec := appendEnvelope(make([]byte, 0, envelopeBytes+len(payload)), recordMagic, epoch, payload)
+	if err := d.writeAtomic(RecordFile(epoch), rec, sync); err != nil {
+		return err
+	}
+	d.bytes.Add(int64(len(rec)))
+
+	// Insert into the retained set and prune the oldest beyond Retain.
+	i := sort.Search(len(d.epochs), func(i int) bool { return d.epochs[i] >= epoch })
+	if i == len(d.epochs) || d.epochs[i] != epoch {
+		d.epochs = append(d.epochs, 0)
+		copy(d.epochs[i+1:], d.epochs[i:])
+		d.epochs[i] = epoch
+	}
+	for len(d.epochs) > d.opts.Retain {
+		victim := d.epochs[0]
+		d.epochs = d.epochs[1:]
+		// Best-effort: a record that refuses to die only wastes disk,
+		// and the next prune retries it anyway.
+		_ = os.Remove(filepath.Join(d.dir, RecordFile(victim)))
+	}
+
+	mp := codec.AppendInt32(nil, d.epochs[len(d.epochs)-1])
+	mp = codec.AppendInt32s(mp, d.epochs)
+	man := appendEnvelope(make([]byte, 0, envelopeBytes+len(mp)), manifestMagic, d.epochs[len(d.epochs)-1], mp)
+	if err := d.writeAtomic(manifestName, man, sync); err != nil {
+		return err
+	}
+	d.bytes.Add(int64(len(man)))
+	return nil
+}
+
+// writeAtomic lands data under name via temp file + (fsync) + rename +
+// (directory fsync), so readers only ever see the old file or the
+// complete new one.
+func (d *DurableStore) writeAtomic(name string, data []byte, sync bool) error {
+	final := filepath.Join(d.dir, name)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %s: %w", name, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("checkpoint: %s: fsync: %w", name, err)
+		}
+		d.fsyncs.Add(1)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %s: %w", name, err)
+	}
+	if sync {
+		if dirf, err := os.Open(d.dir); err == nil {
+			if dirf.Sync() == nil {
+				d.fsyncs.Add(1)
+			}
+			dirf.Close()
+		}
+	}
+	return nil
+}
+
+// NewestSealed returns the newest epoch whose record file decodes
+// cleanly, with its snapshot payload. Candidates come from the union of
+// the manifest (when it decodes) and a directory scan — the scan is the
+// authority, since a crash between record and manifest writes leaves
+// the manifest one epoch stale — and are tried newest-first: a torn,
+// truncated, or bit-flipped record is skipped, falling back to the
+// previous sealed epoch. ErrNoSealedEpoch when nothing decodes.
+func (d *DurableStore) NewestSealed() (int32, []byte, error) {
+	seen := make(map[int32]bool)
+	var cands []int32
+	for _, e := range scanEpochs(d.dir) {
+		if !seen[e] {
+			seen[e] = true
+			cands = append(cands, e)
+		}
+	}
+	if mb, err := os.ReadFile(filepath.Join(d.dir, manifestName)); err == nil {
+		if _, es, err := DecodeManifest(mb); err == nil {
+			for _, e := range es {
+				if !seen[e] {
+					seen[e] = true
+					cands = append(cands, e)
+				}
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] > cands[j] })
+	for _, e := range cands {
+		data, err := os.ReadFile(filepath.Join(d.dir, RecordFile(e)))
+		if err != nil {
+			continue
+		}
+		epoch, payload, err := DecodeRecord(data)
+		if err != nil || epoch != e {
+			continue // corrupt or misfiled: fall back to the next older
+		}
+		return e, payload, nil
+	}
+	return 0, nil, fmt.Errorf("%w in %s", ErrNoSealedEpoch, d.dir)
+}
+
+// Epochs returns the epochs currently on disk, ascending (contents not
+// validated).
+func (d *DurableStore) Epochs() []int32 {
+	return scanEpochs(d.dir)
+}
+
+func appendEnvelope(dst []byte, magic uint32, epoch int32, payload []byte) []byte {
+	dst = codec.AppendUint32(dst, magic)
+	dst = codec.AppendUint32(dst, durableVersion)
+	dst = codec.AppendInt32(dst, epoch)
+	dst = codec.AppendUint32(dst, uint32(len(payload)))
+	dst = codec.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// decodeEnvelope validates the 20-byte header against the actual bytes
+// present — the need-before-make guard: a length-lying header fails
+// here before any payload byte is trusted or copied.
+func decodeEnvelope(data []byte, wantMagic uint32) (epoch int32, payload []byte, err error) {
+	r := codec.NewReader(data)
+	magic := r.Uint32()
+	version := r.Uint32()
+	epoch = r.Int32()
+	plen := r.Uint32()
+	crc := r.Uint32()
+	if r.Err() != nil {
+		return 0, nil, fmt.Errorf("checkpoint: truncated envelope (%d bytes)", len(data))
+	}
+	if magic != wantMagic {
+		return 0, nil, fmt.Errorf("checkpoint: bad magic %#08x", magic)
+	}
+	if version != durableVersion {
+		return 0, nil, fmt.Errorf("checkpoint: unsupported format version %d", version)
+	}
+	if epoch <= 0 {
+		return 0, nil, fmt.Errorf("checkpoint: invalid epoch %d", epoch)
+	}
+	if int(plen) != r.Remaining() {
+		return 0, nil, fmt.Errorf("checkpoint: payload length %d does not match %d bytes on disk", plen, r.Remaining())
+	}
+	payload = data[envelopeBytes:]
+	if got := crc32.ChecksumIEEE(payload); got != crc {
+		return 0, nil, fmt.Errorf("checkpoint: CRC mismatch: header %#08x, payload %#08x", crc, got)
+	}
+	return epoch, payload, nil
+}
+
+// DecodeRecord validates a record file's envelope and returns its epoch
+// and snapshot payload. The payload aliases data.
+func DecodeRecord(data []byte) (epoch int32, payload []byte, err error) {
+	return decodeEnvelope(data, recordMagic)
+}
+
+// DecodeManifest validates a manifest file and returns the newest
+// sealed epoch and the retained epoch list it names.
+func DecodeManifest(data []byte) (newest int32, epochs []int32, err error) {
+	epoch, payload, err := decodeEnvelope(data, manifestMagic)
+	if err != nil {
+		return 0, nil, err
+	}
+	r := codec.NewReader(payload)
+	newest = r.Int32()
+	epochs = r.Int32s()
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	if r.Remaining() != 0 {
+		return 0, nil, fmt.Errorf("checkpoint: %d trailing manifest bytes", r.Remaining())
+	}
+	if newest != epoch {
+		return 0, nil, fmt.Errorf("checkpoint: manifest names epoch %d but envelope says %d", newest, epoch)
+	}
+	for _, e := range epochs {
+		if e <= 0 || e > newest {
+			return 0, nil, fmt.Errorf("checkpoint: manifest retains impossible epoch %d (newest %d)", e, newest)
+		}
+	}
+	return newest, epochs, nil
+}

@@ -1,0 +1,71 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"aap/internal/checkpoint"
+	"aap/internal/codec"
+)
+
+// FuzzDurableDecode feeds arbitrary bytes through every durable decode
+// surface — record envelope, manifest, and snapshot payload — and pins
+// the crash-consistency contract: corrupt, truncated, or length-lying
+// input must come back as an error, never a panic, and never an
+// allocation larger than the input itself (the need-before-make guard,
+// same discipline as decodeBatch).
+func FuzzDurableDecode(f *testing.F) {
+	snap := &checkpoint.Snapshot[int64]{
+		Epoch:     3,
+		States:    [][]byte{codec.AppendInt64(nil, 42), nil},
+		Rounds:    []int32{5, 4},
+		PEvalDone: []bool{true, true},
+		InFlight:  []checkpoint.Flight[int64]{{From: 1, To: 0, Msgs: []int64{7, -9}}},
+	}
+	payload := checkpoint.EncodeSnapshot(snap, encInt64)
+
+	// Seed corpus: a valid snapshot payload, assorted truncations of
+	// it, and shapes that lie about their lengths.
+	f.Add(payload)
+	f.Add(payload[:len(payload)/2])
+	f.Add(payload[:1])
+	f.Add([]byte{})
+	f.Add(codec.AppendUint32(nil, 0xffffffff))                   // worker count lie
+	f.Add(codec.AppendUint32(codec.AppendUint32(nil, 1), 1<<30)) // state length lie
+	lie := codec.AppendUint32(nil, 2)                            // 2 workers...
+	lie = codec.AppendBytes(lie, nil)                            // ...but one state
+	f.Add(lie)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Record and manifest envelopes: any successful parse must have
+		// actually validated the CRC over a payload that fits the input.
+		if epoch, p, err := checkpoint.DecodeRecord(data); err == nil {
+			if len(p) > len(data) || epoch <= 0 {
+				t.Fatalf("DecodeRecord accepted epoch %d with %d payload bytes from %d input bytes", epoch, len(p), len(data))
+			}
+		}
+		if newest, epochs, err := checkpoint.DecodeManifest(data); err == nil {
+			if newest <= 0 || len(epochs)*4 > len(data) {
+				t.Fatalf("DecodeManifest accepted (%d, %d epochs) from %d bytes", newest, len(epochs), len(data))
+			}
+		}
+		// Snapshot payload: decoded structure must be bounded by the
+		// input (every state byte, round, flag, and 8-byte message was
+		// read from somewhere).
+		s, err := checkpoint.DecodeSnapshot(1, data, decInt64)
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, st := range s.States {
+			total += len(st) + 4
+		}
+		total += 4 * len(s.Rounds)
+		total += len(s.PEvalDone)
+		for _, fl := range s.InFlight {
+			total += 12 + 8*len(fl.Msgs)
+		}
+		if total > len(data) {
+			t.Fatalf("decoded %d bytes of structure from %d input bytes", total, len(data))
+		}
+	})
+}

@@ -80,6 +80,16 @@ func AppendInt64s(dst []byte, vs []int64) []byte {
 	return dst
 }
 
+// AppendBools appends a length-prefixed vector of booleans, one byte
+// each.
+func AppendBools(dst []byte, vs []bool) []byte {
+	dst = AppendUint32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = AppendBool(dst, v)
+	}
+	return dst
+}
+
 // AppendBytes appends a length-prefixed byte blob (a nested payload:
 // serialized program state inside an RPC frame, for example).
 func AppendBytes(dst []byte, b []byte) []byte {
@@ -219,6 +229,19 @@ func (r *Reader) Int64s() []int64 {
 	out := make([]int64, n)
 	for i := range out {
 		out[i] = r.Int64()
+	}
+	return out
+}
+
+// Bools decodes a length-prefixed vector of booleans.
+func (r *Reader) Bools() []bool {
+	n, ok := r.vecLen(1)
+	if !ok {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.Bool()
 	}
 	return out
 }

@@ -83,6 +83,12 @@ func (o *Options) withDefaults() Options {
 // each worker's delay-stretch controller, and termination detected when
 // every worker is inactive with no designated messages in flight.
 func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T], error) {
+	return run(p, job, opts, nil)
+}
+
+// run is the shared body of Run and Resume: rs, when non-nil, seeds the
+// engine from a durably stored sealed snapshot before the first round.
+func run[T any](p *partition.Partitioned, job Job[T], opts Options, rs *resumeState[T]) (*Result[T], error) {
 	if job.Validate != nil {
 		if err := job.Validate(p); err != nil {
 			return nil, err
@@ -104,7 +110,7 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 	if opts.Mode == Hsync {
 		e.hsync = newHsyncState(opts.HsyncWindow)
 	}
-	if opts.Checkpoint.EveryRounds > 0 {
+	if opts.Checkpoint.EveryRounds > 0 || rs != nil {
 		e.ckpt = checkpoint.NewStore[VMsg[T]](p.M)
 	}
 	if opts.Faults != nil {
@@ -142,6 +148,11 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 			}
 		}
 	}
+	if opts.Checkpoint.Dir != "" {
+		if err := e.setupDurable(rs); err != nil {
+			return nil, err
+		}
+	}
 	if opts.Transport.enabled() {
 		err := e.setupPlane()
 		if e.tp != nil {
@@ -151,11 +162,23 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 			return nil, err
 		}
 	}
+	if rs != nil {
+		// Seed after the transport plane is up so remote workers restore
+		// their program state over RPC, exactly like a rollback would.
+		if err := e.seedResume(rs.snap); err != nil {
+			return nil, err
+		}
+		rs.seconds = time.Since(rs.t0).Seconds()
+	}
 
 	start := time.Now()
 	var wg, fwg sync.WaitGroup
 	wg.Add(p.M)
 	fwg.Add(p.M)
+	if e.durable != nil {
+		e.persistWg.Add(1)
+		go e.persistLoop()
+	}
 	for _, w := range e.workers {
 		go func(w *worker[T]) {
 			defer fwg.Done()
@@ -190,6 +213,13 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 	if e.recov != nil {
 		e.recov.wg.Wait() // a mid-flight rollback mutates worker state
 	}
+	if e.durable != nil {
+		// Drain the persist queue before reading durable stats (or
+		// returning an error): every seal the run produced must be on
+		// disk when Run returns.
+		close(e.persistQuit)
+		e.persistWg.Wait()
+	}
 	if err := e.err(); err != nil {
 		return nil, err
 	}
@@ -206,6 +236,15 @@ func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T],
 	}
 	stats.Recoveries = e.recoveries.Load()
 	stats.RecoverySeconds = float64(e.recoveryNanos.Load()) / 1e9
+	if e.durable != nil {
+		stats.DurableBytes = e.durable.BytesWritten()
+		stats.FsyncCount = e.durable.FsyncCount()
+	}
+	if rs != nil {
+		stats.ResumeEpoch = rs.snap.Epoch
+		stats.ResumeBytes = rs.bytes
+		stats.ResumeSeconds = rs.seconds
+	}
 	if e.tp != nil {
 		ws := e.tp.Stats()
 		stats.WireBytesOut = ws.WireBytesOut
@@ -256,6 +295,13 @@ type engine[T any] struct {
 	ckpt  *checkpoint.Store[VMsg[T]]
 	recov *recovery[T]
 	inj   *faultInjector
+	// Durable tee (Options.Checkpoint.Dir): sealed snapshots flow from
+	// the store's onSeal hook through persistCh to the persister
+	// goroutine, which encodes and writes them off the hot path.
+	durable     *checkpoint.DurableStore
+	persistCh   chan *checkpoint.Snapshot[VMsg[T]]
+	persistQuit chan struct{}
+	persistWg   sync.WaitGroup
 	// undelivered counts batches between flush handoff and inbox.put
 	// (including time.AfterFunc latency limbo); recovery's quiesce
 	// waits for it to reach zero before rewriting state.

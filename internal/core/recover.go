@@ -15,6 +15,17 @@ type CheckpointOptions struct {
 	// completes a multiple of this many rounds (and the previous epoch
 	// has sealed). Zero disables checkpointing.
 	EveryRounds int32
+	// Dir, when set, tees every sealed snapshot to crash-consistent
+	// record files in this directory (created if missing), so Resume
+	// can restart the whole process from the newest sealed epoch.
+	// Requires EveryRounds > 0 (except under Resume, where the seeded
+	// epoch alone may be enough) and Job.EncodeVal/DecodeVal.
+	Dir string
+	// SyncEvery fsyncs every Nth durable record write; 1 (the default)
+	// syncs every write. See checkpoint.DurableOptions.
+	SyncEvery int
+	// Retain keeps the newest K epochs on disk (default 3, floor 2).
+	Retain int
 }
 
 // The engine adapts Chandy-Lamport to its asynchronous rounds with the

@@ -35,6 +35,14 @@ type RunStats struct {
 	Recoveries      int64   // rollback-and-resume cycles executed
 	RecoverySeconds float64 // wall time spent quiesced in recovery
 
+	// Durable checkpoint accounting, zero unless Options.Checkpoint.Dir
+	// was set (or the run was started by Resume).
+	DurableBytes  int64   // record + manifest bytes written to the checkpoint dir
+	FsyncCount    int64   // fsync syscalls issued by the durable store
+	ResumeEpoch   int32   // sealed epoch the run resumed from, 0 for a fresh start
+	ResumeBytes   int64   // record payload bytes read back by Resume
+	ResumeSeconds float64 // wall time from opening the dir to workers relaunched
+
 	// Transport accounting, zero unless the run used the TCP plane
 	// (Options.Transport). WireBytes count real serialized frames —
 	// headers, heartbeats and acks included — as written to / read from

@@ -33,6 +33,10 @@ var ChaosSeeds = []int64{1, 7, 42}
 //     reporting real serialized wire bytes against the in-proc model's
 //     accounted bytes, plus a kill+recovery run over the wire.
 //
+//   - durability — a victim child process with every sealed epoch teed
+//     to disk is SIGKILLed mid-run and resumed from its records, intact
+//     and with the newest record torn or bit-flipped (see durability).
+//
 // cmd/aapbench exposes it as -exp chaos.
 func Chaos(workers int, seeds []int64) (string, error) {
 	ds := FriendsterSim(Scale())
@@ -143,6 +147,10 @@ func Chaos(workers int, seeds []int64) (string, error) {
 		wire.Stats.Seconds/base.Stats.Seconds,
 		float64(wire.Stats.WireBytesOut)/float64(max(wire.Stats.TotalBytes, 1)))
 	b.WriteString("tcp runs bit-identical to the in-proc fault-free baseline\n")
+
+	if err := durability(&b, p, job, base.Values, workers); err != nil {
+		return "", err
+	}
 	return b.String(), nil
 }
 
