@@ -20,15 +20,18 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"aap/internal/harness"
 )
 
 func main() {
-	// The chaos experiment's durability section re-execs this binary as
-	// a SIGKILL victim; the child is selected purely by environment, so
-	// check before flags.
+	// The chaos experiment's durability and self-healing sections
+	// re-exec this binary as a SIGKILL victim / supervised worker host;
+	// the children are selected purely by environment, so check before
+	// flags.
 	harness.DurableChildMain()
+	harness.SuperviseChildMain()
 
 	exp := flag.String("exp", "all", "experiment to run (table1, fig1, fig6a..fig6l, fig7, exp2, cfcase, ingest, chaos, all)")
 	workersFlag := flag.String("workers", "16,32,48,64", "comma-separated worker counts for figure sweeps")
@@ -37,6 +40,8 @@ func main() {
 	ssspDelta := flag.Float64("sssp-delta", 0, "extra forced bucket width for the SSSP delta axis of -exp compute (0: just tiny/auto/huge)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+	maxRestarts := flag.Int("max-restarts", 2, "restart budget per supervised worker host in the -exp chaos self-healing section")
+	restartBackoff := flag.Duration("restart-backoff", 2*time.Millisecond, "base respawn backoff for the -exp chaos self-healing section (capped exponential, seeded jitter)")
 	flag.Parse()
 
 	workers, err := parseInts(*workersFlag)
@@ -60,7 +65,7 @@ func main() {
 			f.Close()
 		}
 	}
-	if err := run(*exp, workers, *tableWorkers, *input, *ssspDelta); err != nil {
+	if err := run(*exp, workers, *tableWorkers, *input, *ssspDelta, *maxRestarts, *restartBackoff); err != nil {
 		stopProfile()
 		fatal(err)
 	}
@@ -95,7 +100,7 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, workers []int, tableWorkers int, input string, ssspDelta float64) error {
+func run(exp string, workers []int, tableWorkers int, input string, ssspDelta float64, maxRestarts int, restartBackoff time.Duration) error {
 	experiments := map[string]func() (string, error){
 		"table1":  func() (string, error) { return harness.Table1(tableWorkers) },
 		"fig1":    harness.Fig1,
@@ -108,7 +113,9 @@ func run(exp string, workers []int, tableWorkers int, input string, ssspDelta fl
 		"fig7":    harness.Fig7,
 		"exp2":    func() (string, error) { return harness.Exp2Comm(tableWorkers) },
 		"cfcase":  harness.CFCase,
-		"chaos":   func() (string, error) { return harness.Chaos(tableWorkers, harness.ChaosSeeds) },
+		"chaos": func() (string, error) {
+			return harness.Chaos(tableWorkers, harness.ChaosSeeds, maxRestarts, restartBackoff)
+		},
 	}
 	for _, p := range harness.Fig6Panels() {
 		p := p

@@ -12,6 +12,14 @@
 //	grapecli -graph g.txt -algo cc -transport tcp
 //	grapecli -graph g.txt -algo sssp -checkpoint-dir /tmp/ckpt
 //	grapecli -graph g.txt -algo sssp -checkpoint-dir /tmp/ckpt -resume
+//	grapecli -graph g.txt -algo sssp -remote-workers 1,2 -max-restarts 2
+//
+// Exit codes:
+//
+//	0  run completed (recovered runs included — restarts, failbacks and
+//	   degraded durability are reported on stdout, not failures)
+//	1  any other error (bad flags, unreadable graph, failed run)
+//	3  -resume found no usable sealed epoch in -checkpoint-dir
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,7 +38,18 @@ import (
 	"aap/internal/core"
 	"aap/internal/graph"
 	"aap/internal/partition"
+	"aap/internal/supervise"
+	"aap/internal/transport"
 )
+
+// serveCfg carries the internal -serve-worker child mode: when the
+// supervisor re-execs grapecli as a worker host, execute serves the
+// fragment over the plane instead of running the job.
+var serveCfg struct {
+	worker int
+	addr   string
+	inc    uint64
+}
 
 func main() {
 	graphPath := flag.String("graph", "", "edge-list graph file (see graph.WriteEdgeList)")
@@ -49,7 +69,14 @@ func main() {
 	syncEvery := flag.Int("sync-every", 1, "fsync every Nth durable record write (1: every write)")
 	retain := flag.Int("retain", 3, "keep the newest K durable epochs on disk (min 2)")
 	resume := flag.Bool("resume", false, "restart from the newest sealed epoch in -checkpoint-dir instead of running from scratch")
+	remoteWorkers := flag.String("remote-workers", "", "comma-separated worker ids hosted in supervised child processes (grapecli re-exec'd per host, loopback TCP)")
+	maxRestarts := flag.Int("max-restarts", 2, "restart budget per supervised worker host before failing the worker back to a local Program")
+	restartBackoff := flag.Duration("restart-backoff", 2*time.Millisecond, "base respawn backoff (capped exponential with jitter seeded from -fault-seed)")
+	serveWorker := flag.Int("serve-worker", -1, "internal: host this worker's Program against -parent-addr instead of running the job")
+	parentAddr := flag.String("parent-addr", "", "internal: parent listen address for -serve-worker")
+	incarnation := flag.Uint64("incarnation", 1, "internal: link incarnation announced by -serve-worker")
 	flag.Parse()
+	serveCfg.worker, serveCfg.addr, serveCfg.inc = *serveWorker, *parentAddr, *incarnation
 
 	if *graphPath == "" {
 		fatal(fmt.Errorf("-graph is required"))
@@ -111,6 +138,34 @@ func main() {
 		opts.Transport = &core.TransportOptions{TCP: true}
 	default:
 		fatal(fmt.Errorf("unknown transport %q", *transportName))
+	}
+	var sup *supervise.Supervisor
+	if *remoteWorkers != "" && serveCfg.worker < 0 {
+		ids, err := parseWorkerList(*remoteWorkers, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		if opts.Checkpoint.EveryRounds == 0 {
+			// Recovery (rejoin restore, failback) rolls back to a sealed
+			// snapshot; without one a lost host forces a fresh restart.
+			opts.Checkpoint = core.CheckpointOptions{EveryRounds: 1}
+		}
+		// Each host re-runs this same command line plus the serve-mode
+		// flags; the supervisor substitutes the listen address and the
+		// fencing incarnation at (re)spawn time.
+		argv := append([]string{os.Args[0]}, os.Args[1:]...)
+		argv = append(argv, "-serve-worker", "{worker}", "-parent-addr", "{addr}", "-incarnation", "{incarnation}")
+		specs := make([]supervise.Spec, 0, len(ids))
+		for _, w := range ids {
+			specs = append(specs, supervise.Command(w, argv))
+		}
+		sup = supervise.New(supervise.Policy{
+			MaxRestarts: *maxRestarts,
+			Backoff:     transport.Backoff{Base: *restartBackoff, Seed: uint64(*faultSeed)},
+		}, specs...)
+		defer sup.Stop()
+		topts := core.TransportOptions{RemoteWorkers: ids, OnListen: sup.OnListen, Supervisor: sup}
+		opts.Transport = &topts
 	}
 	if *resume && *checkpointDir == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint-dir"))
@@ -175,6 +230,22 @@ func main() {
 		fmt.Printf("wire: %d bytes out, %d bytes in, %d retries, %d heartbeat timeouts\n",
 			stats.WireBytesOut, stats.WireBytesIn, stats.Retries, stats.HeartbeatTimeouts)
 	}
+	if stats.Restarts > 0 || stats.Failbacks > 0 || stats.FreshRestarts > 0 {
+		fmt.Printf("supervision: %d restarts (rejoin %.1fms), %d failbacks, %d fresh restarts\n",
+			stats.Restarts, stats.RejoinSeconds*1e3, stats.Failbacks, stats.FreshRestarts)
+	}
+	if sup != nil {
+		for _, h := range sup.Report().Hosts {
+			fmt.Printf("host worker=%d: incarnation %d, %d restarts%s\n",
+				h.Worker, h.Incarnation, h.Restarts, map[bool]string{true: " (budget exhausted)", false: ""}[h.Exhausted])
+		}
+	}
+	if stats.DroppedSeals > 0 {
+		fmt.Printf("warning: durable persister lagged, dropped %d sealed epochs (resume fallback widened)\n", stats.DroppedSeals)
+	}
+	if stats.DurableDegraded != "" {
+		fmt.Printf("warning: durable checkpoints degraded, run finished non-durable: %s\n", stats.DurableDegraded)
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 			fatal(err)
@@ -200,11 +271,40 @@ func parseMode(s string) (core.Mode, error) {
 	}
 }
 
-// execute runs (or resumes) one job. A resume against a directory with
-// no decodable sealed record is its own failure mode — the operator
-// should rerun without -resume — and gets a distinct message and exit
-// code 3 so scripts can tell it apart from an ordinary failed run.
+// parseWorkerList parses a comma-separated list of worker ids, each in
+// [0, workers).
+func parseWorkerList(s string, workers int) ([]int, error) {
+	var ids []int
+	for _, f := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad worker id %q in -remote-workers", f)
+		}
+		if id < 0 || id >= workers {
+			return nil, fmt.Errorf("-remote-workers id %d outside [0, %d)", id, workers)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// execute runs (or resumes) one job — or, in the internal -serve-worker
+// child mode, hosts the worker's Program against the parent and exits.
+// A resume against a directory with no decodable sealed record is its
+// own failure mode — the operator should rerun without -resume — and
+// gets a distinct message and exit code 3 so scripts can tell it apart
+// from an ordinary failed run.
 func execute[T any](p *partition.Partitioned, job core.Job[T], opts core.Options, resume bool) *core.Result[T] {
+	if serveCfg.worker >= 0 {
+		if serveCfg.addr == "" {
+			fatal(fmt.Errorf("-serve-worker requires -parent-addr"))
+		}
+		topts := core.TransportOptions{Incarnation: serveCfg.inc}
+		if err := core.ServeWorker(p, job, serveCfg.worker, serveCfg.addr, topts); err != nil {
+			fatal(err)
+		}
+		os.Exit(0)
+	}
 	var res *core.Result[T]
 	var err error
 	if resume {

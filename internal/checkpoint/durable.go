@@ -61,6 +61,9 @@ type DurableOptions struct {
 	// files. Defaults to 3; the floor is 2 so a corruption of the
 	// newest record always leaves a fallback.
 	Retain int
+	// FS overrides the filesystem (fault-injection seam); nil uses the
+	// real one.
+	FS FS
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -72,6 +75,9 @@ func (o DurableOptions) withDefaults() DurableOptions {
 	}
 	if o.Retain < 2 {
 		o.Retain = 2
+	}
+	if o.FS == nil {
+		o.FS = OsFS()
 	}
 	return o
 }
@@ -96,11 +102,12 @@ type DurableStore struct {
 // NewestSealed validates lazily, per candidate, so a corrupt record
 // costs nothing until someone tries to resume from it.
 func OpenDurable(dir string, opts DurableOptions) (*DurableStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: open durable dir: %w", err)
 	}
-	d := &DurableStore{dir: dir, opts: opts.withDefaults()}
-	d.epochs = scanEpochs(dir)
+	d := &DurableStore{dir: dir, opts: opts}
+	d.epochs = scanEpochs(opts.FS, dir)
 	return d, nil
 }
 
@@ -135,8 +142,8 @@ func parseRecordName(name string) (int32, bool) {
 	return e, true
 }
 
-func scanEpochs(dir string) []int32 {
-	ents, err := os.ReadDir(dir)
+func scanEpochs(fsys FS, dir string) []int32 {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil
 	}
@@ -181,7 +188,7 @@ func (d *DurableStore) WriteEpoch(epoch int32, payload []byte) error {
 		d.epochs = d.epochs[1:]
 		// Best-effort: a record that refuses to die only wastes disk,
 		// and the next prune retries it anyway.
-		_ = os.Remove(filepath.Join(d.dir, RecordFile(victim)))
+		_ = d.opts.FS.Remove(filepath.Join(d.dir, RecordFile(victim)))
 	}
 
 	mp := codec.AppendInt32(nil, d.epochs[len(d.epochs)-1])
@@ -198,35 +205,36 @@ func (d *DurableStore) WriteEpoch(epoch int32, payload []byte) error {
 // (directory fsync), so readers only ever see the old file or the
 // complete new one.
 func (d *DurableStore) writeAtomic(name string, data []byte, sync bool) error {
+	fsys := d.opts.FS
 	final := filepath.Join(d.dir, name)
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("checkpoint: %s: %w", name, err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: %s: %w", name, err)
 	}
 	if sync {
 		if err := f.Sync(); err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 			return fmt.Errorf("checkpoint: %s: fsync: %w", name, err)
 		}
 		d.fsyncs.Add(1)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: %s: %w", name, err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: %s: %w", name, err)
 	}
 	if sync {
-		if dirf, err := os.Open(d.dir); err == nil {
+		if dirf, err := fsys.Open(d.dir); err == nil {
 			if dirf.Sync() == nil {
 				d.fsyncs.Add(1)
 			}
@@ -246,13 +254,13 @@ func (d *DurableStore) writeAtomic(name string, data []byte, sync bool) error {
 func (d *DurableStore) NewestSealed() (int32, []byte, error) {
 	seen := make(map[int32]bool)
 	var cands []int32
-	for _, e := range scanEpochs(d.dir) {
+	for _, e := range scanEpochs(d.opts.FS, d.dir) {
 		if !seen[e] {
 			seen[e] = true
 			cands = append(cands, e)
 		}
 	}
-	if mb, err := os.ReadFile(filepath.Join(d.dir, manifestName)); err == nil {
+	if mb, err := d.opts.FS.ReadFile(filepath.Join(d.dir, manifestName)); err == nil {
 		if _, es, err := DecodeManifest(mb); err == nil {
 			for _, e := range es {
 				if !seen[e] {
@@ -264,7 +272,7 @@ func (d *DurableStore) NewestSealed() (int32, []byte, error) {
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i] > cands[j] })
 	for _, e := range cands {
-		data, err := os.ReadFile(filepath.Join(d.dir, RecordFile(e)))
+		data, err := d.opts.FS.ReadFile(filepath.Join(d.dir, RecordFile(e)))
 		if err != nil {
 			continue
 		}
@@ -280,7 +288,7 @@ func (d *DurableStore) NewestSealed() (int32, []byte, error) {
 // Epochs returns the epochs currently on disk, ascending (contents not
 // validated).
 func (d *DurableStore) Epochs() []int32 {
-	return scanEpochs(d.dir)
+	return scanEpochs(d.opts.FS, d.dir)
 }
 
 func appendEnvelope(dst []byte, magic uint32, epoch int32, payload []byte) []byte {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"aap/internal/checkpoint"
@@ -290,3 +291,112 @@ func TestDurableRewriteEpoch(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// failFS wraps the real filesystem with switchable write/fsync/open
+// failures — the full-disk / dying-device model for the durable store.
+type failFS struct {
+	checkpoint.FS
+	failWrite atomic.Bool
+	failSync  atomic.Bool
+	failOpen  atomic.Bool
+}
+
+var errDiskFull = errors.New("no space left on device (injected)")
+
+func newFailFS() *failFS { return &failFS{FS: checkpoint.OsFS()} }
+
+func (f *failFS) OpenFile(name string, flag int, perm os.FileMode) (checkpoint.File, error) {
+	if f.failOpen.Load() {
+		return nil, errDiskFull
+	}
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{File: file, fs: f}, nil
+}
+
+type failFile struct {
+	checkpoint.File
+	fs *failFS
+}
+
+func (f *failFile) Write(b []byte) (int, error) {
+	if f.fs.failWrite.Load() {
+		return 0, errDiskFull
+	}
+	return f.File.Write(b)
+}
+
+func (f *failFile) Sync() error {
+	if f.fs.failSync.Load() {
+		return errDiskFull
+	}
+	return f.File.Sync()
+}
+
+// TestDurableFailingDisk drives WriteEpoch into every injected failure
+// mode and pins the degradation contract: the call returns the error
+// (never panics or wedges), leaves no .tmp litter under a record name,
+// and NewestSealed keeps serving the last epoch that landed before the
+// disk died.
+func TestDurableFailingDisk(t *testing.T) {
+	fsys := newFailFS()
+	dir := t.TempDir()
+	d, err := checkpoint.OpenDurable(dir, checkpoint.DurableOptions{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeEpoch(t, d, 1)
+	writeEpoch(t, d, 2)
+
+	fail := func(name string, arm func(bool)) {
+		t.Helper()
+		arm(true)
+		payload := checkpoint.EncodeSnapshot(testSnapshot(3), encInt64)
+		err := d.WriteEpoch(3, payload)
+		arm(false)
+		if err == nil {
+			t.Fatalf("%s: WriteEpoch succeeded on a failing disk", name)
+		}
+		if !errors.Is(err, errDiskFull) {
+			t.Fatalf("%s: injected error not surfaced: %v", name, err)
+		}
+		ep, _, nerr := d.NewestSealed()
+		if nerr != nil || ep != 2 {
+			t.Fatalf("%s: newest sealed after failure: epoch %d err %v, want 2", name, ep, nerr)
+		}
+	}
+	fail("write", func(b bool) { fsys.failWrite.Store(b) })
+	fail("fsync", func(b bool) { fsys.failSync.Store(b) })
+	fail("open", func(b bool) { fsys.failOpen.Store(b) })
+
+	// The disk comes back: the store must not have latched the failure.
+	writeEpoch(t, d, 3)
+	if ep, _, err := d.NewestSealed(); err != nil || ep != 3 {
+		t.Fatalf("after recovery: epoch %d err %v, want 3", ep, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("failed write leaked temp file %s", e.Name())
+		}
+	}
+}
+
+// TestDurableFailingDiskAtOpen: a directory that cannot even be created
+// surfaces the error from OpenDurable.
+func TestDurableFailingDiskAtOpen(t *testing.T) {
+	fsys := newFailFS()
+	mk := &failMkdirFS{FS: fsys}
+	if _, err := checkpoint.OpenDurable(filepath.Join(t.TempDir(), "sub"), checkpoint.DurableOptions{FS: mk}); !errors.Is(err, errDiskFull) {
+		t.Fatalf("OpenDurable on failing mkdir: %v", err)
+	}
+}
+
+type failMkdirFS struct{ checkpoint.FS }
+
+func (failMkdirFS) MkdirAll(string, os.FileMode) error { return errDiskFull }

@@ -1,0 +1,47 @@
+package checkpoint
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS abstracts the filesystem calls DurableStore makes, so tests and
+// chaos harnesses can inject write/fsync failures (full disk, dying
+// device) and prove the store degrades instead of panicking or wedging
+// the seal path. The zero value of DurableOptions uses the real
+// filesystem via OsFS.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// File is the slice of *os.File the durable store needs: sequential
+// writes, fsync, close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OsFS returns the passthrough FS over the real filesystem.
+func OsFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }

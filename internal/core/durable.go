@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"aap/internal/checkpoint"
@@ -60,7 +61,7 @@ func Resume[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[
 }
 
 func durableOptions(c CheckpointOptions) checkpoint.DurableOptions {
-	return checkpoint.DurableOptions{SyncEvery: c.SyncEvery, Retain: c.Retain}
+	return checkpoint.DurableOptions{SyncEvery: c.SyncEvery, Retain: c.Retain, FS: c.FS}
 }
 
 // setupDurable wires the seal-to-disk tee: the store's onSeal hook
@@ -92,9 +93,39 @@ func (e *engine[T]) setupDurable(rs *resumeState[T]) error {
 		select {
 		case e.persistCh <- s:
 		default:
+			// The persister is further than 8 seals behind (slow disk or
+			// injected write stall): dropping the seal only widens the
+			// resume fallback, but silently is how durability rots —
+			// count it and say so once.
+			e.droppedSeals.Add(1)
+			e.dropWarnOnce.Do(func() {
+				fmt.Fprintf(os.Stderr, "core: %s: durable persister lagging, dropped sealed epoch %d (see RunStats.DroppedSeals)\n", e.job.Name, s.Epoch)
+			})
 		}
 	})
 	return nil
+}
+
+// degradeDurable records the first durable write failure and turns the
+// persister off: the run continues non-durable (the in-memory sealed
+// snapshot still backs rollback) instead of failing or wedging the seal
+// path on a full/broken disk. Surfaced in RunStats.DurableDegraded.
+func (e *engine[T]) degradeDurable(err error) {
+	e.degradeMu.Lock()
+	first := e.degraded == ""
+	if first {
+		e.degraded = err.Error()
+	}
+	e.degradeMu.Unlock()
+	if first {
+		fmt.Fprintf(os.Stderr, "core: %s: durable checkpoints degraded, run continues non-durable: %v\n", e.job.Name, err)
+	}
+}
+
+func (e *engine[T]) durableDegraded() bool {
+	e.degradeMu.Lock()
+	defer e.degradeMu.Unlock()
+	return e.degraded != ""
 }
 
 // persistLoop drains sealed snapshots to disk until persistQuit closes,
@@ -104,9 +135,12 @@ func (e *engine[T]) setupDurable(rs *resumeState[T]) error {
 func (e *engine[T]) persistLoop() {
 	defer e.persistWg.Done()
 	write := func(s *checkpoint.Snapshot[VMsg[T]]) {
+		if e.durableDegraded() {
+			return // disk already failed once; don't keep hammering it
+		}
 		payload := encodeDurableSnapshot(&e.job, s)
 		if err := e.durable.WriteEpoch(s.Epoch, payload); err != nil {
-			e.fail(fmt.Errorf("core: %s: durable checkpoint epoch %d: %w", e.job.Name, s.Epoch, err))
+			e.degradeDurable(fmt.Errorf("core: %s: durable checkpoint epoch %d: %w", e.job.Name, s.Epoch, err))
 		}
 	}
 	for {

@@ -236,6 +236,14 @@ func run[T any](p *partition.Partitioned, job Job[T], opts Options, rs *resumeSt
 	}
 	stats.Recoveries = e.recoveries.Load()
 	stats.RecoverySeconds = float64(e.recoveryNanos.Load()) / 1e9
+	stats.Restarts = e.restarts.Load()
+	stats.RejoinSeconds = float64(e.rejoinNanos.Load()) / 1e9
+	stats.Failbacks = e.failbacks.Load()
+	stats.FreshRestarts = e.freshRestarts.Load()
+	stats.DroppedSeals = e.droppedSeals.Load()
+	e.degradeMu.Lock()
+	stats.DurableDegraded = e.degraded
+	e.degradeMu.Unlock()
 	if e.durable != nil {
 		stats.DurableBytes = e.durable.BytesWritten()
 		stats.FsyncCount = e.durable.FsyncCount()
@@ -308,6 +316,20 @@ type engine[T any] struct {
 	undelivered   atomic.Int64
 	recoveries    atomic.Int64
 	recoveryNanos atomic.Int64
+
+	// Self-healing ladder accounting (recover.go's superviseDead and
+	// rollback) plus durability-degradation surfacing. rejoinInc[k] is
+	// the highest incarnation of worker k's host that has completed a
+	// handshake, recorded by onPeerRejoin and polled by awaitRejoin.
+	rejoinInc     []atomic.Uint64
+	restarts      atomic.Int64
+	rejoinNanos   atomic.Int64
+	failbacks     atomic.Int64
+	freshRestarts atomic.Int64
+	droppedSeals  atomic.Int64
+	dropWarnOnce  sync.Once
+	degradeMu     sync.Mutex
+	degraded      string
 
 	doneOnce sync.Once
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"aap/internal/codec"
@@ -48,6 +49,36 @@ type TransportOptions struct {
 	RetryLimit     int
 	RetryBase      time.Duration
 	RetryMax       time.Duration
+	// Supervisor, when set, owns the remote hosts' lifecycle: when the
+	// failure detector declares a host dead, the recovery goroutine asks
+	// it (with the run quiesced) to respawn the process under its
+	// restart policy. A granted respawn is waited out via the
+	// incarnation handshake and the worker rejoins; a refusal (budget
+	// exhausted) fails the worker back to a local Program.
+	// internal/supervise.Supervisor implements this.
+	Supervisor RespawnPolicy
+	// RejoinWait bounds how long recovery waits for a respawned host's
+	// higher-incarnation handshake before spending the next unit of
+	// restart budget; 10s if zero.
+	RejoinWait time.Duration
+	// Incarnation is this process's link incarnation, carried in every
+	// Hello so a supervisor-respawned host fences its dead predecessor's
+	// frames. Meaningful for ServeWorker children; zero means 1.
+	Incarnation uint64
+	// LinkFaults, when non-nil, injects the deterministic link-fault
+	// schedule (partition windows, loss-as-RTO, delay) below the plane,
+	// composing with Options.Faults' delivery faults above it.
+	LinkFaults *transport.LinkFaults
+}
+
+// RespawnPolicy is the supervision hook recovery consults for each dead
+// remote host: it returns the incarnation a replacement process is
+// being launched as, or ok=false when the restart budget is exhausted
+// and the worker must fail back locally. Called on the recovery
+// goroutine with the run quiesced; it may block (backoff, process
+// launch).
+type RespawnPolicy interface {
+	Respawn(worker int) (incarnation uint64, ok bool)
 }
 
 func (t *TransportOptions) enabled() bool {
@@ -199,6 +230,25 @@ func (e *engine[T]) onFrame(f transport.Frame) {
 	}
 }
 
+// onPeerRejoin fires when a higher-incarnation Hello superseded a
+// link: the respawned host for some worker has completed its handshake.
+// Recovery's awaitRejoin polls the recorded incarnation. Runs on a
+// transport goroutine; record-max only, no sends.
+func (e *engine[T]) onPeerRejoin(linkID int32, served []int32, inc uint64) {
+	for _, s := range served {
+		k := int(s) - (e.p.M + 1)
+		if k < 0 || k >= e.p.M {
+			continue
+		}
+		for {
+			cur := e.rejoinInc[k].Load()
+			if inc <= cur || e.rejoinInc[k].CompareAndSwap(cur, inc) {
+				break
+			}
+		}
+	}
+}
+
 // onPeerDead is the heartbeat verdict: a host process went silent past
 // the death threshold (or exhausted its reconnect budget). Mark its
 // proxy dead — aborting any blocked RPC — and trigger the ordinary
@@ -234,6 +284,7 @@ func (e *engine[T]) setupPlane() error {
 	}
 	tp, err := transport.Listen(transport.Config{
 		ListenAddr:     addr,
+		Incarnation:    topts.Incarnation,
 		HeartbeatEvery: topts.HeartbeatEvery,
 		SuspectAfter:   topts.SuspectAfter,
 		DeadAfter:      topts.DeadAfter,
@@ -241,11 +292,14 @@ func (e *engine[T]) setupPlane() error {
 		Retry:          transport.Backoff{Base: topts.RetryBase, Max: topts.RetryMax, Seed: uint64(e.opts.Seed)},
 		OnFrame:        e.onFrame,
 		OnPeerDead:     e.onPeerDead,
+		OnPeerRejoin:   e.onPeerRejoin,
+		Faults:         topts.LinkFaults,
 	})
 	if err != nil {
 		return err
 	}
 	e.tp = tp
+	e.rejoinInc = make([]atomic.Uint64, e.p.M)
 	e.remotes = make([]*remoteProg[T], e.p.M)
 	e.ctrlReq = make(chan transport.Frame, 4*e.p.M+16)
 	if topts.OnListen != nil {

@@ -26,6 +26,9 @@ type CheckpointOptions struct {
 	SyncEvery int
 	// Retain keeps the newest K epochs on disk (default 3, floor 2).
 	Retain int
+	// FS overrides the durable store's filesystem (fault-injection
+	// seam); nil uses the real one.
+	FS checkpoint.FS
 }
 
 // The engine adapts Chandy-Lamport to its asynchronous rounds with the
@@ -125,10 +128,74 @@ func (r *recovery[T]) recover(victim int) {
 		case <-time.After(100 * time.Microsecond):
 		}
 	}
+	r.superviseDead()
 	r.rollback(victim)
 	e.recoveries.Add(1)
 	e.recoveryNanos.Add(time.Since(t0).Nanoseconds())
 	r.finish()
+}
+
+// superviseDead is the self-healing ladder's first rung, running with
+// the engine quiesced, before the rollback: for every remote host the
+// detector declared dead, ask the restart policy for a replacement
+// process, wait for its higher-incarnation handshake, and rearm the
+// proxy — so the rollback below restores its Program over RPC exactly
+// like any live remote worker. A refusal (budget exhausted) or a
+// respawn that never dials in leaves the proxy dead and the rollback
+// fails that worker back to a locally rebuilt Program. Scanning all
+// proxies (not just the requesting victim) covers a second host dying
+// while this recovery was already active — request() ignores the
+// redundant trigger, but the corpse is here to be found.
+func (r *recovery[T]) superviseDead() {
+	e := r.e
+	topts := e.opts.Transport
+	if topts == nil || topts.Supervisor == nil {
+		return
+	}
+	wait := topts.RejoinWait
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	for k, rp := range e.remotes {
+		if rp == nil || rp.alive() {
+			continue
+		}
+		for {
+			inc, ok := topts.Supervisor.Respawn(k)
+			if !ok {
+				break // budget spent: rollback fails this worker back
+			}
+			t0 := time.Now()
+			if e.awaitRejoin(k, inc, wait) {
+				rp.rejoin()
+				e.restarts.Add(1)
+				e.rejoinNanos.Add(time.Since(t0).Nanoseconds())
+				break
+			}
+			// The respawn never completed its handshake (launch failure,
+			// or it died again instantly): spend the next unit of budget.
+		}
+	}
+}
+
+// awaitRejoin polls until worker k's host has completed a handshake at
+// incarnation >= inc (recorded by onPeerRejoin), the wait elapses, or
+// the run ends.
+func (e *engine[T]) awaitRejoin(k int, inc uint64, wait time.Duration) bool {
+	deadline := time.Now().Add(wait)
+	for {
+		if e.rejoinInc[k].Load() >= inc {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		select {
+		case <-e.done:
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
 }
 
 // finish releases parked workers and re-arms the manager.
@@ -155,6 +222,18 @@ func (r *recovery[T]) rollback(victim int) {
 	if e.ckpt != nil {
 		snap = e.ckpt.Sealed()
 	}
+	// Second rung of the no-checkpoint fallback: before declaring a
+	// fresh restart, try the durable tail — a previous incarnation of
+	// this process (or a dropped in-memory seal) may have left a newer
+	// record on disk than the store holds in memory.
+	if snap == nil && e.ckpt != nil && e.durable != nil {
+		if ep, payload, err := e.durable.NewestSealed(); err == nil {
+			if s, derr := decodeDurableSnapshot(&e.job, ep, payload); derr == nil && len(s.States) == e.p.M {
+				e.ckpt.Seed(s) // Reset below rewinds announce to this epoch
+				snap = s
+			}
+		}
+	}
 
 	// Destroy the abandoned execution's residue: inbox contents and
 	// local buffers are all post-cut.
@@ -176,20 +255,32 @@ func (r *recovery[T]) rollback(victim int) {
 	}
 
 	rounds := make([]int32, e.p.M)
+	freshRestart := false
 	for i, w := range e.workers {
 		// A dead remote host can't execute anything again: fail back to a
 		// locally hosted Program rebuilt from the fragment (its in-memory
-		// state is lost with the process either way).
-		deadRemote := false
-		if rp, ok := w.prog.(*remoteProg[T]); ok && !rp.alive() {
-			deadRemote = true
+		// state is lost with the process either way). A host that
+		// superviseDead respawned and rejoined reads as a live remote
+		// here, so its proxy survives and the restore below rides the
+		// RPC to the new incarnation.
+		deadRemote, liveRemote := false, false
+		if rp, ok := w.prog.(*remoteProg[T]); ok {
+			if rp.alive() {
+				liveRemote = true
+			} else {
+				deadRemote = true
+			}
+		}
+		if deadRemote {
+			e.failbacks.Add(1)
 		}
 		if snap == nil {
-			if rp, ok := w.prog.(*remoteProg[T]); ok && rp.alive() {
+			freshRestart = true
+			if liveRemote {
 				// Full restart with a live remote host: have it rebuild
 				// its Program in place instead of replacing the proxy.
-				if err := rp.reset(); err != nil {
-					e.fail(fmt.Errorf("core: %s worker %d remote reset failed: %w", e.job.Name, i, err))
+				if rp := w.prog.(*remoteProg[T]); rp.reset() != nil {
+					e.fail(fmt.Errorf("core: %s worker %d remote reset failed", e.job.Name, i))
 					return
 				}
 			} else {
@@ -199,7 +290,7 @@ func (r *recovery[T]) rollback(victim int) {
 			w.pevalDone = false
 			w.epoch = 0
 		} else {
-			if i == victim || deadRemote {
+			if (i == victim && !liveRemote) || deadRemote {
 				w.prog = e.job.New(w.frag)
 			}
 			if err := w.prog.(Snapshotter).RestoreState(snap.States[i]); err != nil {
@@ -212,6 +303,9 @@ func (r *recovery[T]) rollback(victim int) {
 		}
 		rounds[i] = w.rounds
 		w.isActive = true
+	}
+	if freshRestart {
+		e.freshRestarts.Add(1)
 	}
 	e.coord.reset(rounds)
 	if e.ckpt != nil {

@@ -49,8 +49,13 @@ type remoteProg[T any] struct {
 	mu     sync.Mutex // serializes calls (worker loop vs. recovery)
 	respCh chan []byte
 
-	deadOnce sync.Once
-	dead     chan struct{}
+	// dead aborts blocked calls when the heartbeat verdict lands. Unlike
+	// a sync.Once-guarded close, the channel is replaced by rejoin()
+	// when a supervisor respawns the host, so a proxy can die and come
+	// back any number of times across one run.
+	deadMu sync.Mutex
+	dead   chan struct{}
+	isDead bool
 
 	collected []T
 	haveVals  bool
@@ -68,16 +73,48 @@ func newRemoteProg[T any](e *engine[T], w int) *remoteProg[T] {
 
 // markDead aborts any blocked call; fired by the heartbeat verdict.
 func (rp *remoteProg[T]) markDead() {
-	rp.deadOnce.Do(func() { close(rp.dead) })
+	rp.deadMu.Lock()
+	if !rp.isDead {
+		rp.isDead = true
+		close(rp.dead)
+	}
+	rp.deadMu.Unlock()
 }
 
 func (rp *remoteProg[T]) alive() bool {
+	rp.deadMu.Lock()
+	defer rp.deadMu.Unlock()
+	return !rp.isDead
+}
+
+// deadCh snapshots the current death channel; callers select on the
+// snapshot so a concurrent rejoin (which swaps the channel) cannot race
+// the read.
+func (rp *remoteProg[T]) deadCh() <-chan struct{} {
+	rp.deadMu.Lock()
+	defer rp.deadMu.Unlock()
+	return rp.dead
+}
+
+// rejoin rearms a proxy whose host was respawned: the new incarnation
+// has completed its handshake, so calls may flow again. Called on the
+// recovery goroutine with the run quiesced — no call is in flight, and
+// the rollback that follows restores the Program over RPC.
+func (rp *remoteProg[T]) rejoin() {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
 	select {
-	case <-rp.dead:
-		return false
+	case <-rp.respCh: // stale reply from the dead incarnation
 	default:
-		return true
 	}
+	rp.deadMu.Lock()
+	if rp.isDead {
+		rp.isDead = false
+		rp.dead = make(chan struct{})
+	}
+	rp.deadMu.Unlock()
+	rp.collected = nil
+	rp.haveVals = false
 }
 
 // deliver hands a reply payload to the blocked call; runs on the
@@ -103,6 +140,7 @@ func (rp *remoteProg[T]) call(payload []byte, timeout time.Duration) *codec.Read
 	if err := rp.e.tp.Send(int32(rp.w), rp.host, transport.KindRPC, payload); err != nil {
 		return nil
 	}
+	dead := rp.deadCh()
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
@@ -110,7 +148,7 @@ func (rp *remoteProg[T]) call(payload []byte, timeout time.Duration) *codec.Read
 		r := codec.NewReader(resp)
 		r.Int32() // op echo
 		return r
-	case <-rp.dead:
+	case <-dead:
 		return nil
 	case <-t.C:
 		rp.markDead()
@@ -257,6 +295,7 @@ func ServeWorker[T any](p *partition.Partitioned, job Job[T], workerID int, pare
 	dead := make(chan struct{})
 	var deadOnce sync.Once
 	tp, err := transport.Listen(transport.Config{
+		Incarnation:    topts.Incarnation,
 		HeartbeatEvery: topts.HeartbeatEvery,
 		SuspectAfter:   topts.SuspectAfter,
 		DeadAfter:      topts.DeadAfter,

@@ -35,13 +35,25 @@ type RunStats struct {
 	Recoveries      int64   // rollback-and-resume cycles executed
 	RecoverySeconds float64 // wall time spent quiesced in recovery
 
+	// Self-healing supervision accounting: the failure ladder is
+	// respawn+rejoin → (budget exhausted) local failback → (no sealed
+	// snapshot anywhere) fresh restart, and each rung leaves its count
+	// here. Zero unless Transport.Supervisor (Restarts/RejoinSeconds) or
+	// recovery (Failbacks/FreshRestarts) ran.
+	Restarts      int64   // remote hosts respawned and rejoined mid-run
+	RejoinSeconds float64 // wall time from respawn grant to completed handshake
+	Failbacks     int64   // dead remote workers failed back to local Programs
+	FreshRestarts int64   // rollbacks that found no sealed snapshot (from-scratch)
+
 	// Durable checkpoint accounting, zero unless Options.Checkpoint.Dir
 	// was set (or the run was started by Resume).
-	DurableBytes  int64   // record + manifest bytes written to the checkpoint dir
-	FsyncCount    int64   // fsync syscalls issued by the durable store
-	ResumeEpoch   int32   // sealed epoch the run resumed from, 0 for a fresh start
-	ResumeBytes   int64   // record payload bytes read back by Resume
-	ResumeSeconds float64 // wall time from opening the dir to workers relaunched
+	DurableBytes    int64   // record + manifest bytes written to the checkpoint dir
+	FsyncCount      int64   // fsync syscalls issued by the durable store
+	DroppedSeals    int64   // sealed snapshots the persister dropped (queue full)
+	DurableDegraded string  // first durable write error; run continued non-durable
+	ResumeEpoch     int32   // sealed epoch the run resumed from, 0 for a fresh start
+	ResumeBytes     int64   // record payload bytes read back by Resume
+	ResumeSeconds   float64 // wall time from opening the dir to workers relaunched
 
 	// Transport accounting, zero unless the run used the TCP plane
 	// (Options.Transport). WireBytes count real serialized frames —

@@ -37,8 +37,13 @@ var ChaosSeeds = []int64{1, 7, 42}
 //     to disk is SIGKILLed mid-run and resumed from its records, intact
 //     and with the newest record torn or bit-flipped (see durability).
 //
-// cmd/aapbench exposes it as -exp chaos.
-func Chaos(workers int, seeds []int64) (string, error) {
+//   - self-healing — a supervised worker host is SIGKILLed inside and
+//     then past its restart budget; the supervisor must respawn+rejoin
+//     within budget and fail back locally beyond it (see supervision).
+//
+// cmd/aapbench exposes it as -exp chaos; maxRestarts and restartBackoff
+// mirror the -max-restarts/-restart-backoff flags.
+func Chaos(workers int, seeds []int64, maxRestarts int, restartBackoff time.Duration) (string, error) {
 	ds := FriendsterSim(Scale())
 	p, err := partition.Build(ds.Graph, workers, partition.Hash{})
 	if err != nil {
@@ -149,6 +154,9 @@ func Chaos(workers int, seeds []int64) (string, error) {
 	b.WriteString("tcp runs bit-identical to the in-proc fault-free baseline\n")
 
 	if err := durability(&b, p, job, base.Values, workers); err != nil {
+		return "", err
+	}
+	if err := supervision(&b, p, job, base.Values, workers, maxRestarts, restartBackoff); err != nil {
 		return "", err
 	}
 	return b.String(), nil

@@ -1,0 +1,154 @@
+package supervise
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"aap/internal/transport"
+)
+
+func quiet(s *Supervisor) *Supervisor {
+	s.SetLogger(nil)
+	return s
+}
+
+func TestRespawnBudget(t *testing.T) {
+	// The ladder's first rung: MaxRestarts respawns with monotonically
+	// increasing incarnations, then a hard false that triggers failback.
+	var started []uint64
+	sp := Spec{Worker: 3, Start: func(addr string, inc uint64) (*exec.Cmd, error) {
+		started = append(started, inc)
+		return nil, nil
+	}}
+	s := quiet(New(Policy{MaxRestarts: 2, Backoff: transport.Backoff{Base: time.Microsecond, Max: time.Microsecond}}, sp))
+	if err := s.Start("addr:0"); err != nil {
+		t.Fatal(err)
+	}
+	if inc, ok := s.Respawn(3); !ok || inc != 2 {
+		t.Fatalf("first respawn: got (%d,%v) want (2,true)", inc, ok)
+	}
+	if inc, ok := s.Respawn(3); !ok || inc != 3 {
+		t.Fatalf("second respawn: got (%d,%v) want (3,true)", inc, ok)
+	}
+	if inc, ok := s.Respawn(3); ok {
+		t.Fatalf("past budget: got (%d,%v) want refusal", inc, ok)
+	}
+	wantStarts := []uint64{1, 2, 3}
+	if len(started) != len(wantStarts) {
+		t.Fatalf("starts: got %v want %v", started, wantStarts)
+	}
+	for i, inc := range wantStarts {
+		if started[i] != inc {
+			t.Fatalf("starts: got %v want %v", started, wantStarts)
+		}
+	}
+	r := s.Report()
+	if r.Restarts != 2 || len(r.Hosts) != 1 || !r.Hosts[0].Exhausted || r.Hosts[0].Incarnation != 3 {
+		t.Fatalf("report: %+v", r)
+	}
+	if s.Incarnation(3) != 3 {
+		t.Fatalf("incarnation: got %d want 3", s.Incarnation(3))
+	}
+}
+
+func TestRespawnUnknownWorkerAndStopped(t *testing.T) {
+	s := quiet(New(Policy{}, Spec{Worker: 0, Start: func(string, uint64) (*exec.Cmd, error) { return nil, nil }}))
+	if _, ok := s.Respawn(7); ok {
+		t.Fatal("respawned a worker with no spec")
+	}
+	s.Stop()
+	if _, ok := s.Respawn(0); ok {
+		t.Fatal("respawned after Stop")
+	}
+	if err := s.Start("addr"); err == nil {
+		t.Fatal("Start after Stop succeeded")
+	}
+}
+
+func TestLaunchErrorStillSpendsBudget(t *testing.T) {
+	// A failing launch returns true (the engine's rejoin wait times out)
+	// but each attempt consumes budget, so a dead launcher converges to
+	// failback instead of looping forever.
+	fails := 0
+	sp := Spec{Worker: 0, Start: func(addr string, inc uint64) (*exec.Cmd, error) {
+		if inc > 1 {
+			fails++
+			return nil, os.ErrNotExist
+		}
+		return nil, nil
+	}}
+	s := quiet(New(Policy{MaxRestarts: 2, Backoff: transport.Backoff{Base: time.Microsecond, Max: time.Microsecond}}, sp))
+	if err := s.Start("addr:0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Respawn(0); !ok {
+		t.Fatal("first respawn refused")
+	}
+	if _, ok := s.Respawn(0); !ok {
+		t.Fatal("second respawn refused")
+	}
+	if _, ok := s.Respawn(0); ok {
+		t.Fatal("third respawn allowed past budget")
+	}
+	if fails != 2 {
+		t.Fatalf("launch attempts past incarnation 1: got %d want 2", fails)
+	}
+}
+
+func TestBackoffDeterministicPerWorker(t *testing.T) {
+	// Same seed → same schedule; distinct workers draw distinct jitter
+	// streams so a multi-host die-off does not respawn in lockstep.
+	bo := transport.Backoff{Base: 10 * time.Millisecond, Max: time.Second, Seed: 42}
+	mix := func(worker int) transport.Backoff {
+		b := bo
+		b.Seed ^= uint64(worker+1) * 0x9E3779B97F4A7C15
+		return b
+	}
+	if mix(0).Delay(0) != mix(0).Delay(0) {
+		t.Fatal("same (seed, worker, attempt) gave different delays")
+	}
+	distinct := false
+	for a := 0; a < 4; a++ {
+		if mix(0).Delay(a) != mix(1).Delay(a) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("workers share a jitter stream")
+	}
+}
+
+func TestCommandSubstitutesPlaceholders(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "launched")
+	sp := Command(5, []string{"/bin/sh", "-c", "printf %s '{addr} {worker} {incarnation}' > " + out})
+	s := quiet(New(Policy{}, sp))
+	if err := s.Start("127.0.0.1:9"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	var got []byte
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(out); err == nil && len(b) > 0 {
+			got = b
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if want := "127.0.0.1:9 5 1"; string(got) != want {
+		t.Fatalf("substituted argv wrote %q want %q", got, want)
+	}
+}
+
+func TestKillWithoutProcess(t *testing.T) {
+	s := quiet(New(Policy{}, Spec{Worker: 1, Start: func(string, uint64) (*exec.Cmd, error) { return nil, nil }}))
+	if err := s.Kill(1); err == nil {
+		t.Fatal("Kill with no live process succeeded")
+	}
+	if err := s.Kill(9); err == nil {
+		t.Fatal("Kill of unknown worker succeeded")
+	}
+}

@@ -83,6 +83,49 @@ func TestDetectorPhiStretchesSlowLinks(t *testing.T) {
 	}
 }
 
+func TestDetectorHealBeforeDeadRecovers(t *testing.T) {
+	// The zero-restart guarantee the partition injector leans on: a link
+	// that goes Suspect but resumes heartbeats before the Dead threshold
+	// must walk back to Alive — never reach Dead (the state that fires
+	// OnPeerDead and, under supervision, burns a restart). Three
+	// partition-shaped silences in a row must each heal cleanly and the
+	// detector must count exactly one timeout per window.
+	clock := time.Unix(0, 0)
+	d := NewDetector(80*time.Millisecond, 240*time.Millisecond)
+	const hb = 10 * time.Millisecond
+	for i := 0; i < 10; i++ {
+		clock = clock.Add(hb)
+		d.Observe(clock)
+	}
+	for window := 1; window <= 3; window++ {
+		// Silence long enough to trip suspicion, checked at the ticker's
+		// cadence, but healed before DeadAfter.
+		for off := hb; off <= 200*time.Millisecond; off += hb {
+			if got := d.Check(clock.Add(off)); got == Dead {
+				t.Fatalf("window %d: detector reached dead at %v silence (DeadAfter 240ms)", window, off)
+			}
+		}
+		if got := d.State(); got != Suspect {
+			t.Fatalf("window %d: after 200ms silence got %v want suspect", window, got)
+		}
+		// The partition heals: queued heartbeats burst through.
+		clock = clock.Add(210 * time.Millisecond)
+		d.Observe(clock)
+		if got := d.State(); got != Alive {
+			t.Fatalf("window %d: heal did not revive: got %v want alive", window, got)
+		}
+		if got := d.Timeouts(); got != int64(window) {
+			t.Fatalf("window %d: timeouts got %d want %d", window, got, window)
+		}
+		// Re-establish the fast cadence so the next window's phi deadline
+		// does not balloon from the 210ms heal gap.
+		for i := 0; i < 10; i++ {
+			clock = clock.Add(hb)
+			d.Observe(clock)
+		}
+	}
+}
+
 func TestDetectorForwardOnlyCheck(t *testing.T) {
 	// Check never moves backward: a detector that reached Suspect stays
 	// suspect when evaluated at an earlier instant (out-of-order timer

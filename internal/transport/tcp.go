@@ -41,6 +41,21 @@ type Config struct {
 	// silence past DeadAfter, or reconnect attempts exhausted. served
 	// lists the endpoint ids the dead peer was serving.
 	OnPeerDead func(linkID int32, served []int32, err error)
+	// Incarnation stamps every Hello this plane sends (default 1). A
+	// respawned process dials in with a higher incarnation; the acceptor
+	// fences anything lower (see admit), so frames and acks from a dead
+	// incarnation can never leak into the run its replacement joined.
+	Incarnation uint64
+	// OnPeerRejoin fires after an inbound Hello with a HIGHER
+	// incarnation supersedes an existing link: the respawned peer has
+	// completed its handshake and its endpoints are routable again. Like
+	// OnFrame it runs on a transport goroutine and must not call send
+	// paths synchronously.
+	OnPeerRejoin func(linkID int32, served []int32, incarnation uint64)
+	// Faults, when non-nil, wraps every conn in the deterministic
+	// link-fault injector (seeded partition windows, delay, loss-as-RTO
+	// stalls). See LinkFaults.
+	Faults *LinkFaults
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +74,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryLimit <= 0 {
 		c.RetryLimit = 8
 	}
+	if c.Incarnation == 0 {
+		c.Incarnation = 1
+	}
 	return c
 }
 
@@ -76,8 +94,9 @@ type Stats struct {
 // to its link with a per-link sequence number; the receiving plane
 // deduplicates and dispatches them to OnFrame in order.
 type Plane struct {
-	cfg Config
-	ln  net.Listener
+	cfg   Config
+	ln    net.Listener
+	start time.Time // fault-injection windows are offsets from here
 
 	mu          sync.Mutex
 	cond        *sync.Cond // broadcast on route-table changes
@@ -85,6 +104,9 @@ type Plane struct {
 	acceptLinks map[int32]*link
 	routes      map[int32]*link
 	closed      bool
+	// tombTimeouts preserves the detector Timeouts of links superseded
+	// by a higher incarnation, so Stats stays cumulative across rejoins.
+	tombTimeouts int64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -101,6 +123,7 @@ type Plane struct {
 type link struct {
 	p        *Plane
 	id       int32
+	inc      uint64  // peer incarnation (accept side) / ours (dial side)
 	dialAddr string  // non-empty on the side that dials (and re-dials)
 	served   []int32 // endpoint ids the peer serves (routes to this link)
 	serve    []int32 // endpoint ids this side serves (re-announced on Hello)
@@ -135,6 +158,7 @@ func Listen(cfg Config) (*Plane, error) {
 	}
 	p := &Plane{
 		cfg:         cfg,
+		start:       time.Now(),
 		dialLinks:   make(map[int32]*link),
 		acceptLinks: make(map[int32]*link),
 		routes:      make(map[int32]*link),
@@ -169,6 +193,7 @@ func (p *Plane) Stats() Stats {
 		Retries:      p.retries.Load(),
 	}
 	p.mu.Lock()
+	s.HeartbeatTimeouts += p.tombTimeouts
 	for _, l := range p.dialLinks {
 		l.mu.Lock()
 		s.HeartbeatTimeouts += l.det.Timeouts()
@@ -193,6 +218,7 @@ func (p *Plane) Dial(id int32, addr string, serve, route []int32) error {
 	l := &link{
 		p:        p,
 		id:       id,
+		inc:      p.cfg.Incarnation,
 		dialAddr: addr,
 		serve:    serve,
 		det:      NewDetector(p.cfg.SuspectAfter, p.cfg.DeadAfter),
@@ -253,6 +279,9 @@ func (l *link) dialAndShake(serve []int32) (net.Conn, *bufio.Reader, uint64, err
 			lastErr = err
 			continue
 		}
+		if l.p.cfg.Faults != nil {
+			conn = l.p.cfg.Faults.wrap(conn, l.id, l.p.start, l.p.done)
+		}
 		br, resume, err := l.shake(conn, serve)
 		if err != nil {
 			conn.Close()
@@ -266,20 +295,24 @@ func (l *link) dialAndShake(serve []int32) (net.Conn, *bufio.Reader, uint64, err
 }
 
 // shake performs the dialer half of the handshake on a fresh conn:
-// Hello{link, our inbound high-water, served ids} out, HelloAck{link,
-// peer's inbound high-water} back. The returned reader MUST be handed
+// Hello{link, our inbound high-water, our incarnation, served ids} out,
+// HelloAck{link, peer's inbound high-water, incarnation echo} back. The
+// incarnation fences process generations: a respawned host dials with a
+// higher one and the acceptor retires the dead generation's link (see
+// admit). The returned reader MUST be handed
 // to the conn's frame reader: the peer starts writing frames the
 // instant it sends the HelloAck, so the buffered read that captured the
 // ack may already hold the first of them — constructing a fresh buffer
 // on the conn would silently drop those bytes (and with them a seq the
 // cumulative-ack protocol would then confirm without ever delivering).
 func (l *link) shake(conn net.Conn, serve []int32) (*bufio.Reader, uint64, error) {
-	if tc, ok := conn.(*net.TCPConn); ok {
+	if tc, ok := unwrapConn(conn).(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
 	l.mu.Lock()
 	hello := codec.AppendInt32(nil, l.id)
 	hello = codec.AppendUint64(hello, l.lastRecv)
+	hello = codec.AppendUint64(hello, l.inc)
 	hello = codec.AppendInt32s(hello, serve)
 	l.mu.Unlock()
 	buf := AppendFrame(nil, Frame{Kind: KindHello, Payload: hello})
@@ -301,8 +334,12 @@ func (l *link) shake(conn net.Conn, serve []int32) (*bufio.Reader, uint64, error
 		return nil, 0, fmt.Errorf("transport: link %d: HelloAck for link %d", l.id, got)
 	}
 	resume := r.Uint64()
+	inc := r.Uint64()
 	if err := r.Err(); err != nil {
 		return nil, 0, err
+	}
+	if inc != l.inc {
+		return nil, 0, fmt.Errorf("transport: link %d: HelloAck for incarnation %d, we are %d", l.id, inc, l.inc)
 	}
 	conn.SetDeadline(time.Time{})
 	return br, resume, nil
@@ -458,11 +495,25 @@ func (p *Plane) acceptLoop() {
 	}
 }
 
-// admit runs the acceptor half of the handshake.
+// admit runs the acceptor half of the handshake. The Hello's
+// incarnation decides the link's fate: equal incarnations are ordinary
+// reconnects resuming sequence state; a HIGHER incarnation is a
+// respawned peer — the old generation's link is retired wholesale
+// (quietly: its death was already reported, and resurrecting its queue
+// would replay frames addressed to a dead process) and a fresh link
+// with fresh sequence space takes its place, announced via
+// OnPeerRejoin; a LOWER incarnation (or a dead same-incarnation peer)
+// is fenced off — a partitioned zombie must not slip frames into the
+// run its replacement has joined.
 func (p *Plane) admit(conn net.Conn) {
 	defer p.wg.Done()
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
+	}
+	var fc *faultConn
+	if p.cfg.Faults != nil {
+		fc = p.cfg.Faults.wrap(conn, faultLinkUnknown, p.start, p.done)
+		conn = fc
 	}
 	conn.SetDeadline(time.Now().Add(2 * time.Second))
 	// br carries over to the attached reader: the dialer is free to
@@ -477,10 +528,14 @@ func (p *Plane) admit(conn net.Conn) {
 	r := codec.NewReader(f.Payload)
 	id := r.Int32()
 	peerSeen := r.Uint64()
+	inc := r.Uint64()
 	served := r.Int32s()
 	if r.Err() != nil {
 		conn.Close()
 		return
+	}
+	if fc != nil {
+		fc.setLink(id)
 	}
 
 	p.mu.Lock()
@@ -490,11 +545,45 @@ func (p *Plane) admit(conn net.Conn) {
 		return
 	}
 	l := p.acceptLinks[id]
-	fresh := l == nil
-	if fresh {
+	fresh := false
+	rejoined := false
+	if l != nil {
+		l.mu.Lock() // p.mu -> l.mu matches Stats' lock order
+		switch {
+		case inc < l.inc || (inc == l.inc && l.dead):
+			// Stale generation, or a late reconnect from a peer already
+			// declared dead: fenced out of the run.
+			l.mu.Unlock()
+			p.mu.Unlock()
+			conn.Close()
+			return
+		case inc > l.inc:
+			p.tombTimeouts += l.det.Timeouts()
+			l.dead = true
+			l.deadErr = fmt.Errorf("transport: link %d superseded by incarnation %d", id, inc)
+			if l.conn != nil {
+				l.conn.Close()
+				l.conn = nil
+			}
+			l.out = nil
+			l.nextSend = 0
+			l.mu.Unlock()
+			select {
+			case l.notify <- struct{}{}:
+			default:
+			}
+			l = nil
+			rejoined = true
+		default:
+			l.mu.Unlock()
+		}
+	}
+	if l == nil {
+		fresh = true
 		l = &link{
 			p:      p,
 			id:     id,
+			inc:    inc,
 			served: served,
 			det:    NewDetector(p.cfg.SuspectAfter, p.cfg.DeadAfter),
 			notify: make(chan struct{}, 1),
@@ -509,8 +598,8 @@ func (p *Plane) admit(conn net.Conn) {
 
 	l.mu.Lock()
 	if l.dead {
-		// The peer was declared dead and reported; a late reconnect
-		// cannot rejoin this run.
+		// The peer was declared dead between the map update and here; a
+		// late reconnect cannot rejoin this run.
 		l.mu.Unlock()
 		conn.Close()
 		return
@@ -520,6 +609,7 @@ func (p *Plane) admit(conn net.Conn) {
 	}
 	ack := codec.AppendInt32(nil, id)
 	ack = codec.AppendUint64(ack, l.lastRecv)
+	ack = codec.AppendUint64(ack, inc)
 	buf := AppendFrame(nil, Frame{Kind: KindHelloAck, Payload: ack})
 	if _, err := conn.Write(buf); err != nil {
 		l.mu.Unlock()
@@ -535,6 +625,9 @@ func (p *Plane) admit(conn net.Conn) {
 		p.wg.Add(2)
 		go l.writer()
 		go l.ticker()
+	}
+	if rejoined && p.cfg.OnPeerRejoin != nil && !p.isClosed() {
+		p.cfg.OnPeerRejoin(id, served, inc)
 	}
 }
 
