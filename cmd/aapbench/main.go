@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aapbench -exp table1|fig1|fig6a..fig6h|fig6i|fig6j|fig6k|fig6l|fig7|exp2|cfcase|ingest|chaos|all
+//	aapbench -exp table1|fig1|fig6a..fig6h|fig6i|fig6j|fig6k|fig6l|fig7|exp2|cfcase|ingest|chaos|serve|all
 //	aapbench -exp fig6b -workers 64,96,128,160,192
 //	aapbench -exp fig6b -cpuprofile cpu.pprof -memprofile mem.pprof
 //	aapbench -exp ingest -input graph.txt
@@ -33,7 +33,7 @@ func main() {
 	harness.DurableChildMain()
 	harness.SuperviseChildMain()
 
-	exp := flag.String("exp", "all", "experiment to run (table1, fig1, fig6a..fig6l, fig7, exp2, cfcase, ingest, chaos, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig1, fig6a..fig6l, fig7, exp2, cfcase, ingest, chaos, serve, all)")
 	workersFlag := flag.String("workers", "16,32,48,64", "comma-separated worker counts for figure sweeps")
 	tableWorkers := flag.Int("table-workers", 32, "worker count for table1/exp2")
 	input := flag.String("input", "", "edge-list file for -exp ingest (default: generated stand-ins)")
@@ -42,6 +42,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	maxRestarts := flag.Int("max-restarts", 2, "restart budget per supervised worker host in the -exp chaos self-healing section")
 	restartBackoff := flag.Duration("restart-backoff", 2*time.Millisecond, "base respawn backoff for the -exp chaos self-healing section (capped exponential, seeded jitter)")
+	serveClients := flag.Int("serve-clients", 6, "closed-loop client goroutines for -exp serve")
+	servePerClient := flag.Int("serve-per-client", 6, "queries each client issues back to back in -exp serve")
 	flag.Parse()
 
 	workers, err := parseInts(*workersFlag)
@@ -65,7 +67,7 @@ func main() {
 			f.Close()
 		}
 	}
-	if err := run(*exp, workers, *tableWorkers, *input, *ssspDelta, *maxRestarts, *restartBackoff); err != nil {
+	if err := run(*exp, workers, *tableWorkers, *input, *ssspDelta, *maxRestarts, *restartBackoff, *serveClients, *servePerClient); err != nil {
 		stopProfile()
 		fatal(err)
 	}
@@ -100,7 +102,7 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, workers []int, tableWorkers int, input string, ssspDelta float64, maxRestarts int, restartBackoff time.Duration) error {
+func run(exp string, workers []int, tableWorkers int, input string, ssspDelta float64, maxRestarts int, restartBackoff time.Duration, serveClients, servePerClient int) error {
 	experiments := map[string]func() (string, error){
 		"table1":  func() (string, error) { return harness.Table1(tableWorkers) },
 		"fig1":    harness.Fig1,
@@ -116,6 +118,9 @@ func run(exp string, workers []int, tableWorkers int, input string, ssspDelta fl
 		"chaos": func() (string, error) {
 			return harness.Chaos(tableWorkers, harness.ChaosSeeds, maxRestarts, restartBackoff)
 		},
+		"serve": func() (string, error) {
+			return harness.Serving(tableWorkers, serveClients, servePerClient)
+		},
 	}
 	for _, p := range harness.Fig6Panels() {
 		p := p
@@ -127,7 +132,7 @@ func run(exp string, workers []int, tableWorkers int, input string, ssspDelta fl
 		names = []string{
 			"table1", "fig1",
 			"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h",
-			"fig6i", "fig6j", "fig6k", "fig6l", "exp2", "fig7", "cfcase", "ingest", "compute", "chaos",
+			"fig6i", "fig6j", "fig6k", "fig6l", "exp2", "fig7", "cfcase", "ingest", "compute", "chaos", "serve",
 		}
 	}
 	for _, name := range names {

@@ -14,11 +14,19 @@
 //	grapecli -graph g.txt -algo sssp -checkpoint-dir /tmp/ckpt -resume
 //	grapecli -graph g.txt -algo sssp -remote-workers 1,2 -max-restarts 2
 //
+// Client mode runs queries against a resident graped server instead of
+// loading a graph locally (-graph is not needed; -out lines carry the
+// same external vertex ids a local run writes):
+//
+//	grapecli -connect 127.0.0.1:7700 -algo sssp -source 3
+//	grapecli -connect 127.0.0.1:7700 -algo recommend -user 2 -topk 5
+//	grapecli -connect 127.0.0.1:7700 -algo stats
+//
 // Exit codes:
 //
 //	0  run completed (recovered runs included — restarts, failbacks and
 //	   degraded durability are reported on stdout, not failures)
-//	1  any other error (bad flags, unreadable graph, failed run)
+//	1  any other error (bad flags, unreadable graph, failed run/query)
 //	3  -resume found no usable sealed epoch in -checkpoint-dir
 package main
 
@@ -26,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -38,6 +47,7 @@ import (
 	"aap/internal/core"
 	"aap/internal/graph"
 	"aap/internal/partition"
+	"aap/internal/serve"
 	"aap/internal/supervise"
 	"aap/internal/transport"
 )
@@ -75,8 +85,18 @@ func main() {
 	serveWorker := flag.Int("serve-worker", -1, "internal: host this worker's Program against -parent-addr instead of running the job")
 	parentAddr := flag.String("parent-addr", "", "internal: parent listen address for -serve-worker")
 	incarnation := flag.Uint64("incarnation", 1, "internal: link incarnation announced by -serve-worker")
+	connect := flag.String("connect", "", "client mode: query a graped server at this address instead of running locally")
+	clientID := flag.Int("client-id", 0, "client mode endpoint id, unique per client (0: derive from pid)")
+	rpcTimeout := flag.Duration("rpc-timeout", 30*time.Second, "client mode per-call timeout")
+	user := flag.Int("user", 0, "client mode: user id for -algo recommend")
+	topk := flag.Int("topk", 5, "client mode: recommendations for -algo recommend")
 	flag.Parse()
 	serveCfg.worker, serveCfg.addr, serveCfg.inc = *serveWorker, *parentAddr, *incarnation
+
+	if *connect != "" {
+		runClient(*connect, *clientID, *rpcTimeout, *algo, graph.VertexID(*source), *user, *topk, *out)
+		return
+	}
 
 	if *graphPath == "" {
 		fatal(fmt.Errorf("-graph is required"))
@@ -251,6 +271,105 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("results written to %s\n", *out)
+	}
+}
+
+// runClient executes one query against a graped serving plane and
+// prints a summary (plus the values to -out if set, one "externalID
+// value" line per vertex — the format local -graph runs write).
+func runClient(addr string, clientID int, timeout time.Duration, algo string, source graph.VertexID, user, topk int, out string) {
+	id := int32(clientID)
+	if id == 0 {
+		id = int32(os.Getpid()&0x3fffffff) + 1
+	}
+	c, err := serve.DialRPC(addr, id, timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	// External vertex identifiers: fetched once so -out lines carry the
+	// same ids a local -graph run writes, regardless of the server's
+	// internal vertex order.
+	extID := func(v int) int64 { return int64(v) }
+	if out != "" && algo != "recommend" {
+		ids, err := c.IDs()
+		if err != nil {
+			fatal(err)
+		}
+		extID = func(v int) int64 { return ids[v] }
+	}
+
+	var lines []string
+	var meta serve.QueryMeta
+	switch algo {
+	case "sssp":
+		dist, m, err := c.SSSP(source)
+		if err != nil {
+			fatal(err)
+		}
+		meta = m
+		reached := 0
+		for v, d := range dist {
+			if !math.IsInf(d, 1) {
+				reached++
+			}
+			lines = append(lines, fmt.Sprintf("%d %g", extID(v), d))
+		}
+		fmt.Printf("sssp from %d via %s: %d vertices, %d reached\n", source, addr, len(dist), reached)
+	case "cc":
+		labels, m, err := c.CC()
+		if err != nil {
+			fatal(err)
+		}
+		meta = m
+		comps := make(map[int64]bool)
+		for v, l := range labels {
+			comps[l] = true
+			lines = append(lines, fmt.Sprintf("%d %d", extID(v), l))
+		}
+		fmt.Printf("cc via %s: %d vertices, %d components\n", addr, len(labels), len(comps))
+	case "pagerank":
+		ranks, m, err := c.PageRank()
+		if err != nil {
+			fatal(err)
+		}
+		meta = m
+		for v, r := range ranks {
+			lines = append(lines, fmt.Sprintf("%d %g", extID(v), r))
+		}
+		fmt.Printf("pagerank via %s: %d vertices\n", addr, len(ranks))
+	case "recommend":
+		recs, m, err := c.Recommend(user, topk)
+		if err != nil {
+			fatal(err)
+		}
+		meta = m
+		fmt.Printf("top %d recommendations for user %d via %s:\n", len(recs), user, addr)
+		for _, rec := range recs {
+			fmt.Printf("  product %-6d predicted rating %.3f\n", rec.Product, rec.Score)
+			lines = append(lines, fmt.Sprintf("%d %g", rec.Product, rec.Score))
+		}
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("server %s: admitted %d, completed %d, failed %d, active %d, rejected %d\n",
+			addr, st.Admitted, st.Completed, st.Failed, st.Active, st.Rejected)
+		fmt.Printf("batches %d (%d queries, max batch %d), queued now %d, qps %.2f, busy %.3fs over %.3fs\n",
+			st.Batches, st.BatchedQueries, st.MaxBatch, st.QueuedNow, st.QPS, st.BusySeconds, st.UpSeconds)
+		return
+	default:
+		fatal(fmt.Errorf("unknown client algorithm %q (sssp, cc, pagerank, recommend, stats)", algo))
+	}
+	fmt.Printf("query %.3fs (queue wait %.3fs, batch %d, arena %d bytes, scanned %d edges)\n",
+		meta.Seconds, meta.QueueWaitSeconds, meta.BatchSize, meta.ArenaBytes, meta.ScannedEdges)
+	if out != "" {
+		if err := os.WriteFile(out, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("results written to %s\n", out)
 	}
 }
 

@@ -117,6 +117,10 @@ func (p *deltaProgram) BucketsDrained() int { return p.buckets }
 // Relaxations reports the edge relaxations attempted so far.
 func (p *deltaProgram) Relaxations() int64 { return p.relaxed }
 
+// ScannedEdges reports the raw CSR edges the sweeps read
+// (core.ScanCounter).
+func (p *deltaProgram) ScannedEdges() int64 { return p.relaxed }
+
 // PEval seeds the source if owned and sweeps to the local fixpoint.
 func (p *deltaProgram) PEval(ctx *core.Context[float64]) {
 	s, ok := p.g.IndexOf(p.source)

@@ -227,6 +227,11 @@ func (p *program) KernelRounds() int { return p.rounds }
 // metric the delta-stepping comparison is about.
 func (p *program) Relaxations() int64 { return p.relaxed }
 
+// ScannedEdges reports the raw CSR edges the sweeps read (one per
+// out-edge of every expanded frontier vertex) — core.ScanCounter, the
+// denominator of the batched multi-source amortization ratio.
+func (p *program) ScannedEdges() int64 { return p.relaxed }
+
 // PEval seeds the source if owned and sweeps to the local fixpoint.
 func (p *program) PEval(ctx *core.Context[float64]) {
 	s, ok := p.g.IndexOf(p.source)

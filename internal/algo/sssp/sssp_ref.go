@@ -34,6 +34,9 @@ type refProgram struct {
 	relaxed       int64 // edge relaxations attempted
 }
 
+// ScannedEdges reports the raw CSR edges read (core.ScanCounter).
+func (p *refProgram) ScannedEdges() int64 { return p.relaxed }
+
 // Relaxations reports the edge relaxations attempted so far, the work
 // metric the kernel comparisons in aapbench -exp compute use.
 func (p *refProgram) Relaxations() int64 { return p.relaxed }

@@ -82,8 +82,13 @@ func (o *Options) withDefaults() Options {
 // Section 3: PEval at every worker, asynchronous IncEval rounds gated by
 // each worker's delay-stretch controller, and termination detected when
 // every worker is inactive with no designated messages in flight.
+//
+// Run is the one-shot wrapper over the resident serving plane: it wraps
+// p in a throwaway Session and issues a single Query. Long-lived
+// callers that run many queries over one loaded graph should hold a
+// Session (see NewSession) and call Query directly.
 func Run[T any](p *partition.Partitioned, job Job[T], opts Options) (*Result[T], error) {
-	return run(p, job, opts, nil)
+	return Query(NewSession(p), job, opts)
 }
 
 // run is the shared body of Run and Resume: rs, when non-nil, seeds the
@@ -230,6 +235,12 @@ func run[T any](p *partition.Partitioned, job Job[T], opts Options, rs *resumeSt
 		stats.Workers[i] = w.stats
 	}
 	stats.finalize()
+	stats.ArenaBytes = arenaBytes(p, &job)
+	for _, w := range e.workers {
+		if sc, ok := w.prog.(ScanCounter); ok {
+			stats.ScannedEdges += sc.ScannedEdges()
+		}
+	}
 	if e.ckpt != nil {
 		stats.Checkpoints = e.ckpt.SealedCount()
 		stats.CheckpointBytes = e.ckpt.SealedBytes()

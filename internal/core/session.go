@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"aap/internal/partition"
+)
+
+// Session is the resident half of the serving plane: it owns the shared
+// read-only state of a loaded graph — the partitioned fragments, their
+// CSR rows, slot tables, border sets and routing index — and executes
+// any number of queries over it, concurrently or in sequence. The state
+// split is strict:
+//
+//	shared, immutable   partition.Partitioned (graph CSR, Ranges, owner
+//	                    table, holder index), every Fragment (border
+//	                    sets, slot tables)
+//	per query           the engine built by Query: Programs and their
+//	                    vertex-state arenas, Contexts, Folders, inboxes,
+//	                    message pools, the coordinator, the Result
+//
+// Nothing in the engine or the kernels writes to the shared plane after
+// partition.Build returns — queries against one Session are data-race
+// free by construction, which TestSessionConcurrentQueries pins under
+// the race detector. A Session adds no locking to the query path; it
+// only keeps serving counters. Admission control, batching and
+// deadlines live one layer up, in internal/serve.
+//
+// Each concurrent query runs its own engine with its own
+// PhysicalWorkers pool, so Q concurrent queries may oversubscribe the
+// machine Q-fold; cap Options.PhysicalWorkers per query (the
+// serve.WithNJobs knob) when serving many at once.
+type Session struct {
+	p       *partition.Partitioned
+	started time.Time
+
+	admitted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	active    atomic.Int64
+	busyNanos atomic.Int64
+}
+
+// NewSession wraps an already partitioned graph as a resident session.
+// The caller must not mutate p (or its graph) afterwards; partition
+// produces no mutating operations on a built Partitioned, so in
+// practice this means not re-slicing the exported border arrays.
+func NewSession(p *partition.Partitioned) *Session {
+	return &Session{p: p, started: time.Now()}
+}
+
+// Partitioned returns the shared read-only partitioned graph.
+func (s *Session) Partitioned() *partition.Partitioned { return s.p }
+
+// SessionStats is a point-in-time snapshot of a Session's serving
+// counters.
+type SessionStats struct {
+	Admitted    int64   // queries started
+	Completed   int64   // queries finished without error
+	Failed      int64   // queries finished with an error
+	Active      int64   // queries currently inside the engine
+	BusySeconds float64 // cumulative wall time inside engine runs
+	UpSeconds   float64 // session age
+	QPS         float64 // Completed / UpSeconds
+}
+
+// Stats snapshots the serving counters.
+func (s *Session) Stats() SessionStats {
+	up := time.Since(s.started).Seconds()
+	st := SessionStats{
+		Admitted:    s.admitted.Load(),
+		Completed:   s.completed.Load(),
+		Failed:      s.failed.Load(),
+		Active:      s.active.Load(),
+		BusySeconds: float64(s.busyNanos.Load()) / 1e9,
+		UpSeconds:   up,
+	}
+	if up > 0 {
+		st.QPS = float64(st.Completed) / up
+	}
+	return st
+}
+
+// Query executes one job over the session's resident graph — the
+// Session.Run of the serving plane, a package-level function because Go
+// methods cannot introduce the job's value type parameter. It is safe
+// to call from any number of goroutines at once; each call builds an
+// independent engine whose only shared inputs are the session's
+// immutable fragments. The one-shot core.Run is a thin wrapper that
+// builds a throwaway Session around this.
+func Query[T any](s *Session, job Job[T], opts Options) (*Result[T], error) {
+	s.admitted.Add(1)
+	s.active.Add(1)
+	t0 := time.Now()
+	res, err := run(s.p, job, opts, nil)
+	s.busyNanos.Add(time.Since(t0).Nanoseconds())
+	s.active.Add(-1)
+	if err != nil && res == nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+	return res, err
+}
+
+// ScanCounter is implemented by kernels that count the raw edges their
+// sweeps scanned (each CSR row read costs its length, however many
+// lanes the scan served). The engine sums it across workers into
+// RunStats.ScannedEdges — the measure behind the batched multi-source
+// amortization claim: k lanes sharing one scan report ~1/k of the edges
+// k separate runs would.
+type ScanCounter interface {
+	ScannedEdges() int64
+}
+
+// arenaBytes estimates the per-query vertex-state arena footprint of a
+// run: one value per local slot (owned vertices + border copies, the
+// only per-job memory the kernels allocate per vertex) plus the
+// assembled global result vector, priced at the job's wire size for a
+// default value. An estimate — kernels are free to keep denser or
+// fatter state — but proportional to the real footprint, and what the
+// serving plane reports per query.
+func arenaBytes[T any](p *partition.Partitioned, job *Job[T]) int64 {
+	per := 8
+	if job.Bytes != nil {
+		var v T
+		if job.Default != nil {
+			v = job.Default(0)
+		}
+		per = job.Bytes(v)
+	}
+	slots := 0
+	for _, f := range p.Frags {
+		slots += f.Slots()
+	}
+	return int64(per) * int64(slots+p.G.NumVertices())
+}

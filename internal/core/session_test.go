@@ -1,0 +1,196 @@
+package core_test
+
+// Concurrency tests of the resident Session: many queries in flight on
+// ONE Session must produce exactly what the same queries produce as
+// serial one-shot core.Run calls — the state-split contract (shared
+// plane read-only, per-query state private) pinned under -race across
+// forced kernel shard counts.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"aap/internal/algo/cc"
+	"aap/internal/algo/pagerank"
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/gen"
+	"aap/internal/graph"
+	"aap/internal/partition"
+)
+
+// TestSessionConcurrentQueriesMatchSerial: >= 8 concurrent queries on a
+// single Session versus the same queries serial through core.Run — SSSP
+// and CC bit-identical (unique exact-min fixpoints), PageRank within
+// 1e-4 relative (AAP scheduling reorders its sum), at forced kernel
+// shards {1, 2, 4}.
+func TestSessionConcurrentQueriesMatchSerial(t *testing.T) {
+	g := gen.PowerLaw(400, 5, 2.1, true, 7)
+	und := graph.AsUndirected(g)
+	p, err := partition.Build(g, 3, partition.Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := partition.Build(und, 3, partition.Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Mode: core.AAP}
+	sources := []graph.VertexID{0, 1, 2, 3, 40, 50}
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			// Serial baselines: fresh one-shot runs, no Session shared.
+			wantS := make([][]float64, len(sources))
+			for i, src := range sources {
+				res, err := core.Run(p, sssp.JobShards(src, shards), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantS[i] = res.Values
+			}
+			resP, err := core.Run(p, pagerank.Job(pagerank.Config{Tol: 1e-8, Shards: shards}), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantP := resP.Values
+			resC, err := core.Run(pu, cc.JobShards(shards), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantC := resC.Values
+
+			// Concurrent: 8 queries (6 SSSP + 2 PageRank) race on one
+			// Session; 2 CC queries race on the undirected Session.
+			s := core.NewSession(p)
+			su := core.NewSession(pu)
+			gotS := make([][]float64, len(sources))
+			gotP := make([][]float64, 2)
+			gotC := make([][]int64, 2)
+			errs := make([]error, len(sources)+4)
+			var wg sync.WaitGroup
+			for i, src := range sources {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, err := core.Query(s, sssp.JobShards(src, shards), opts)
+					if err == nil {
+						gotS[i] = res.Values
+					}
+					errs[i] = err
+				}()
+			}
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, err := core.Query(s, pagerank.Job(pagerank.Config{Tol: 1e-8, Shards: shards}), opts)
+					if err == nil {
+						gotP[i] = res.Values
+					}
+					errs[len(sources)+i] = err
+				}()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, err := core.Query(su, cc.JobShards(shards), opts)
+					if err == nil {
+						gotC[i] = res.Values
+					}
+					errs[len(sources)+2+i] = err
+				}()
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for i := range sources {
+				for v := range wantS[i] {
+					if math.Float64bits(gotS[i][v]) != math.Float64bits(wantS[i][v]) {
+						t.Fatalf("sssp src=%d vertex %d: concurrent %v != serial %v",
+							sources[i], v, gotS[i][v], wantS[i][v])
+					}
+				}
+			}
+			for i := range gotC {
+				for v := range wantC {
+					if gotC[i][v] != wantC[v] {
+						t.Fatalf("cc query %d vertex %d: concurrent %d != serial %d",
+							i, v, gotC[i][v], wantC[v])
+					}
+				}
+			}
+			for i := range gotP {
+				for v := range wantP {
+					diff := math.Abs(gotP[i][v] - wantP[v])
+					if rel := diff / math.Max(math.Abs(wantP[v]), 1e-300); rel > 1e-4 {
+						t.Fatalf("pagerank query %d vertex %d: relative diff %g > 1e-4", i, v, rel)
+					}
+				}
+			}
+
+			stats := s.Stats()
+			if stats.Admitted != 8 || stats.Completed != 8 || stats.Failed != 0 || stats.Active != 0 {
+				t.Fatalf("session stats off: %+v", stats)
+			}
+			if stats.QPS <= 0 || stats.BusySeconds <= 0 {
+				t.Fatalf("session rates off: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestSessionRunStatsServingFields: every engine run prices its
+// per-query arena and harvests the kernels' scan counters into RunStats.
+func TestSessionRunStatsServingFields(t *testing.T) {
+	g := gen.Grid(16, 16, 3)
+	p, err := partition.Build(g, 2, partition.Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSession(p)
+	res, err := core.Query(s, sssp.JobShards(0, 2), core.Options{Mode: core.AAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ArenaBytes <= 0 {
+		t.Fatalf("ArenaBytes = %d, want > 0", res.Stats.ArenaBytes)
+	}
+	if res.Stats.ScannedEdges <= 0 {
+		t.Fatalf("ScannedEdges = %d, want > 0", res.Stats.ScannedEdges)
+	}
+	if got := s.Partitioned(); got != p {
+		t.Fatal("Partitioned() did not return the shared plane")
+	}
+}
+
+// TestRunIsThinSessionWrapper: the one-shot Run must behave exactly like
+// a single-query Session — same values, same serving stats fields.
+func TestRunIsThinSessionWrapper(t *testing.T) {
+	g := gen.Grid(10, 10, 1)
+	p, err := partition.Build(g, 2, partition.Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := core.Run(p, sssp.JobShards(0, 1), core.Options{Mode: core.AAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := core.Query(core.NewSession(p), sssp.JobShards(0, 1), core.Options{Mode: core.AAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range one.Values {
+		if math.Float64bits(one.Values[v]) != math.Float64bits(two.Values[v]) {
+			t.Fatalf("vertex %d: Run %v != Query %v", v, one.Values[v], two.Values[v])
+		}
+	}
+	if one.Stats.ArenaBytes != two.Stats.ArenaBytes {
+		t.Fatalf("ArenaBytes: Run %d != Query %d", one.Stats.ArenaBytes, two.Stats.ArenaBytes)
+	}
+}

@@ -55,6 +55,21 @@ type RunStats struct {
 	ResumeBytes     int64   // record payload bytes read back by Resume
 	ResumeSeconds   float64 // wall time from opening the dir to workers relaunched
 
+	// Serving-plane accounting. ArenaBytes and ScannedEdges are filled
+	// by the engine on every run: ArenaBytes estimates the per-query
+	// vertex-state arena (slots + result vector priced at the job's wire
+	// size — the only per-query memory; fragments and routing stay
+	// shared in the Session), ScannedEdges sums the raw CSR edge scans
+	// of kernels implementing core.ScanCounter (the batched multi-source
+	// amortization metric). QueueWaitSeconds and BatchSize are stamped
+	// by the internal/serve scheduler: wall time the query spent in the
+	// admission queue, and how many queries shared its engine run (k
+	// lanes of a batched multi-source SSSP; 1 for direct runs).
+	QueueWaitSeconds float64
+	BatchSize        int
+	ArenaBytes       int64
+	ScannedEdges     int64
+
 	// Transport accounting, zero unless the run used the TCP plane
 	// (Options.Transport). WireBytes count real serialized frames —
 	// headers, heartbeats and acks included — as written to / read from

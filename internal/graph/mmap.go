@@ -1,0 +1,32 @@
+package graph
+
+import "os"
+
+// ReadEdgeListFileMmap loads an edge-list file like ReadEdgeListFile,
+// but memory-maps the file and hands the mapping straight to the
+// in-memory parallel parser: no read syscalls, no copy of the input
+// into user buffers, and the kernel drops clean pages under memory
+// pressure instead of the process holding them. When the file cannot
+// be mapped (empty, not a regular file, platform without mmap) it
+// falls back to the streaming reader, so callers may use it
+// unconditionally.
+//
+// The result is bit-identical to ReadEdgeListFile: both front ends
+// feed the same chunk parser and deterministic merge, and window
+// boundaries never change the assembled graph.
+func ReadEdgeListFileMmap(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, unmap, err := mmapFile(f)
+	if err != nil {
+		return readEdgeListStream(f)
+	}
+	defer unmap()
+	// Safe to unmap on return: ParseEdgeList copies every parsed field
+	// out of its input (ids and weights become fresh arrays), so nothing
+	// references the mapping afterwards.
+	return ParseEdgeList(data)
+}

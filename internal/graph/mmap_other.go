@@ -1,0 +1,14 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile on platforms without memory mapping always reports failure;
+// ReadEdgeListFileMmap then takes the streaming path.
+func mmapFile(*os.File) ([]byte, func(), error) {
+	return nil, nil, errors.New("graph: mmap unsupported on this platform")
+}

@@ -1,0 +1,103 @@
+package graph
+
+// Differential pin for the mmap front end: mapping the file and parsing
+// it in place must reproduce the streaming file reader bit for bit,
+// including when the streaming side is forced into multi-window mode,
+// and both front ends must report identical errors on malformed input.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTemp round-trips g through WriteEdgeList into a file and returns
+// its path.
+func writeTemp(t *testing.T, dir, name string, g *Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadEdgeListFileMmapMatchesStreaming(t *testing.T) {
+	dir := t.TempDir()
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 900))
+		directed := seed%2 == 0
+		weighted := seed%3 != 0
+		g := randomBuilder(rng, directed, weighted, 1+rng.Intn(80), rng.Intn(600)).buildRef()
+		path := writeTemp(t, dir, fmt.Sprintf("g%d.txt", seed), g)
+		// A tiny window forces the streaming side through many carry-over
+		// refills while the mmap side parses the whole mapping at once —
+		// the strongest version of the equivalence.
+		if seed%2 == 1 {
+			smallWindow(t, 64)
+		}
+		mm, err := ReadEdgeListFileMmap(path)
+		if err != nil {
+			t.Fatalf("seed %d: mmap read: %v", seed, err)
+		}
+		st, err := ReadEdgeListFile(path)
+		if err != nil {
+			t.Fatalf("seed %d: streaming read: %v", seed, err)
+		}
+		// Not compared against g itself: the file round trip reassigns
+		// internal ids to first-appearance order, which both readers must
+		// agree on but the in-memory source need not share.
+		equalGraphs(t, fmt.Sprintf("mmap/seed=%d", seed), mm, st)
+	}
+}
+
+// TestReadEdgeListFileMmapFallsBack: inputs the mapper refuses (empty
+// file) must still load, through the streaming path, with the same
+// result as ReadEdgeListFile.
+func TestReadEdgeListFileMmapFallsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := ReadEdgeListFileMmap(path)
+	if err != nil {
+		t.Fatalf("mmap read of empty file: %v", err)
+	}
+	st, err := ReadEdgeListFile(path)
+	if err != nil {
+		t.Fatalf("streaming read of empty file: %v", err)
+	}
+	equalGraphs(t, "mmap-empty", mm, st)
+}
+
+// TestReadEdgeListFileMmapErrors: malformed input fails with the exact
+// error text of the in-memory/streaming parse.
+func TestReadEdgeListFileMmapErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("0 1\nnope nope\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, mmErr := ReadEdgeListFileMmap(path)
+	_, stErr := ReadEdgeListFile(path)
+	if mmErr == nil || stErr == nil {
+		t.Fatalf("expected both readers to fail: mmap=%v streaming=%v", mmErr, stErr)
+	}
+	if mmErr.Error() != stErr.Error() {
+		t.Fatalf("error text diverges: mmap %q, streaming %q", mmErr, stErr)
+	}
+}
+
+// TestReadEdgeListFileMmapMissing: a missing file reports the open
+// error, not a fallback parse of nothing.
+func TestReadEdgeListFileMmapMissing(t *testing.T) {
+	if _, err := ReadEdgeListFileMmap(filepath.Join(t.TempDir(), "absent")); !os.IsNotExist(err) {
+		t.Fatalf("want not-exist error, got %v", err)
+	}
+}

@@ -1,0 +1,176 @@
+package harness
+
+// The serving experiment measures the resident-service plane of the
+// repo (internal/serve over one core.Session): closed-loop query
+// throughput and latency under concurrent clients, and the edge-scan
+// amortization of batched multi-source SSSP against dedicated runs.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/graph"
+	"aap/internal/partition"
+	"aap/internal/serve"
+)
+
+// Serving runs the resident-service experiment: a serve.Server hosting
+// the Friendster stand-in on `workers` fragments, driven closed-loop by
+// concurrent clients, then the batched-SSSP scan amortization
+// comparison. Correctness is asserted, not sampled: every served
+// distance vector must be bit-identical to a dedicated engine run.
+func Serving(workers, clients, perClient int) (string, error) {
+	ds := FriendsterSim(Scale())
+	p, err := partition.Build(ds.Graph, workers, partition.Hash{})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving plane: %s (n=%d, m=%d), %d fragments, %d clients x %d queries\n\n",
+		ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges(), workers, clients, perClient)
+
+	if err := closedLoop(&b, p, ds.Graph, clients, perClient); err != nil {
+		return "", err
+	}
+	if err := amortization(&b, p); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// closedLoop drives the server with `clients` goroutines, each issuing
+// `perClient` SSSP queries back to back, and reports QPS, latency
+// percentiles, and batching counters. Sources are spread over the
+// graph so queries differ, and every answer is checked bit-identical
+// against a dedicated core.Run of the same source.
+func closedLoop(b *strings.Builder, p *partition.Partitioned, g *graph.Graph, clients, perClient int) error {
+	srv := serve.New(p,
+		serve.WithMaxInflight(4),
+		serve.WithBatchWindow(2*time.Millisecond),
+		serve.WithBatchMax(8),
+	)
+	total := clients * perClient
+	sources := make([]graph.VertexID, total)
+	for i := range sources {
+		sources[i] = graph.VertexID((i * 911) % g.NumVertices())
+	}
+	// Dedicated-run baselines, one per distinct source, computed before
+	// the clock starts.
+	want := make(map[graph.VertexID][]float64)
+	for _, src := range sources {
+		if _, ok := want[src]; ok {
+			continue
+		}
+		res, err := core.Run(p, sssp.Job(src), core.Options{Mode: core.AAP})
+		if err != nil {
+			return err
+		}
+		want[src] = res.Values
+	}
+
+	lat := make([]float64, total)
+	queueWait := make([]float64, total)
+	errs := make([]error, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				i := c*perClient + q
+				t0 := time.Now()
+				vals, st, err := srv.SSSP(sources[i])
+				lat[i] = time.Since(t0).Seconds()
+				queueWait[i] = st.QueueWaitSeconds
+				if err == nil {
+					err = sameDistances(want[sources[i]], vals)
+				}
+				errs[i] = err
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("query %d (source %d): %w", i, sources[i], err)
+		}
+	}
+
+	st := srv.Stats()
+	meanBatch := 0.0
+	if st.Batches > 0 {
+		meanBatch = float64(st.BatchedQueries) / float64(st.Batches)
+	}
+	fmt.Fprintf(b, "closed loop (sssp, batch window 2ms, batch max 8, in-flight cap 4):\n")
+	fmt.Fprintf(b, "  %-22s %10.1f\n", "qps", float64(total)/wall)
+	fmt.Fprintf(b, "  %-22s %10.2f\n", "p50 latency (ms)", 1e3*percentile(lat, 0.50))
+	fmt.Fprintf(b, "  %-22s %10.2f\n", "p99 latency (ms)", 1e3*percentile(lat, 0.99))
+	fmt.Fprintf(b, "  %-22s %10.2f\n", "p50 queue wait (ms)", 1e3*percentile(queueWait, 0.50))
+	fmt.Fprintf(b, "  %-22s %10d\n", "engine runs", st.Completed)
+	fmt.Fprintf(b, "  %-22s %10d\n", "batches", st.Batches)
+	fmt.Fprintf(b, "  %-22s %10.2f\n", "mean batch size", meanBatch)
+	fmt.Fprintf(b, "  %-22s %10d\n", "max batch size", st.MaxBatch)
+	fmt.Fprintf(b, "  %-22s %10d\n", "rejected", st.Rejected)
+	fmt.Fprintf(b, "  all %d answers bit-identical to dedicated runs\n\n", total)
+	return nil
+}
+
+// amortization compares total scanned edges of k dedicated SSSP runs
+// against one batched multi-source run over the same k sources —
+// clustered low ids, the workload batching is for (concurrent queries
+// about the same hot region). Lanes are checked bit-identical to the
+// dedicated runs before the ratio is believed.
+func amortization(b *strings.Builder, p *partition.Partitioned) error {
+	// External ids 0..7: hubs of the power-law stand-in, clustered the
+	// way concurrent queries about one hot region are.
+	sources := make([]graph.VertexID, 8)
+	for i := range sources {
+		sources[i] = graph.VertexID(i)
+	}
+	var single int64
+	want := make([][]float64, len(sources))
+	for i, src := range sources {
+		res, err := core.Run(p, sssp.Job(src), core.Options{Mode: core.AAP})
+		if err != nil {
+			return err
+		}
+		want[i] = res.Values
+		single += res.Stats.ScannedEdges
+	}
+	res, err := core.Run(p, sssp.MultiJob(sssp.MultiConfig{Sources: sources}), core.Options{Mode: core.AAP})
+	if err != nil {
+		return err
+	}
+	for i := range sources {
+		if err := sameDistances(want[i], sssp.Lane(res.Values, i)); err != nil {
+			return fmt.Errorf("batched lane %d: %w", i, err)
+		}
+	}
+	batched := res.Stats.ScannedEdges
+	fmt.Fprintf(b, "batch amortization (k=%d clustered sources, one multi-source run vs k dedicated runs):\n", len(sources))
+	fmt.Fprintf(b, "  %-22s %10d\n", "dedicated scans", single)
+	fmt.Fprintf(b, "  %-22s %10d\n", "batched scans", batched)
+	fmt.Fprintf(b, "  %-22s %10.2f\n", "amortization ratio", float64(single)/float64(batched))
+	fmt.Fprintf(b, "  all %d lanes bit-identical to dedicated runs\n", len(sources))
+	return nil
+}
+
+// percentile returns the q-quantile of xs by nearest-rank on a sorted
+// copy.
+func percentile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}

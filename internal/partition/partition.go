@@ -108,6 +108,14 @@ func (f *Fragment) Partitioned() *Partitioned { return f.p }
 // Partitioned is a graph partitioned into m fragments over a renumbered
 // global graph. Fragment i owns the contiguous vertex range
 // [Ranges[i], Ranges[i+1]).
+//
+// Immutability contract: after Build returns, a Partitioned — the
+// graph, ranges, owner/routing tables, per-fragment slot tables and
+// border sets — is read-only. This is what lets core.Session share one
+// Partitioned across concurrently executing queries with no locking:
+// per-query state lives entirely in the engine's vertex arenas, never
+// here. Anything that wants different fragments (Relabel, a different
+// m) builds a new Partitioned.
 type Partitioned struct {
 	G      *graph.Graph
 	M      int

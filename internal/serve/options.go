@@ -1,0 +1,113 @@
+// Package serve is the concurrent-query scheduling plane over a
+// resident core.Session: admission control (bounded in-flight engine
+// runs plus a bounded wait queue), source batching for SSSP (k queued
+// sources collapse into one batched multi-source engine run that shares
+// edge scans, bit-identical per lane to k separate runs), per-query
+// deadlines through the engine's existing Options.Deadline, and a
+// trained-once collaborative-filtering recommendation path.
+//
+// The package splits responsibilities with core cleanly: core.Session
+// owns the shared immutable plane (fragments, slot tables, routing) and
+// the per-query engine runs; serve decides WHEN and in WHAT SHAPE those
+// runs happen.
+package serve
+
+import (
+	"log"
+	"time"
+
+	"aap/internal/algo/cf"
+	"aap/internal/core"
+)
+
+// config collects the scheduler knobs; zero values resolve in
+// withDefaults. Construction is via functional options so new knobs
+// never break callers.
+type config struct {
+	maxInflight int           // concurrent engine runs
+	queueDepth  int           // queries allowed to wait beyond the in-flight cap
+	batchWindow time.Duration // how long the first queued SSSP source waits for company
+	batchMax    int           // sources per batched run; reaching it cuts the batch early
+	njobs       int           // engine compute parallelism (core.Options.PhysicalWorkers)
+	deadline    time.Duration // per-query engine deadline (core.Options.Deadline)
+	mode        core.Mode
+	staleness   int     // engine staleness bound (CF training wants > 0)
+	pagerankTol float64 // PageRank query convergence tolerance
+	cfConfig    *cf.Config
+	cfStaleness int // staleness bound used for the one-time CF training run
+	logger      *log.Logger
+}
+
+func (c config) withDefaults() config {
+	if c.maxInflight <= 0 {
+		c.maxInflight = 4
+	}
+	if c.queueDepth <= 0 {
+		c.queueDepth = 64
+	}
+	if c.batchWindow < 0 {
+		c.batchWindow = 0
+	}
+	if c.batchMax <= 0 {
+		c.batchMax = 8
+	}
+	if c.pagerankTol <= 0 {
+		c.pagerankTol = 1e-8
+	}
+	if c.cfStaleness <= 0 {
+		c.cfStaleness = 4
+	}
+	return c
+}
+
+// Option configures a Server.
+type Option func(*config)
+
+// WithMaxInflight bounds how many engine runs may execute at once;
+// further admitted queries wait in the queue. Default 4.
+func WithMaxInflight(n int) Option { return func(c *config) { c.maxInflight = n } }
+
+// WithQueueDepth bounds how many queries may wait for an in-flight
+// slot; beyond it queries fail fast with ErrOverloaded. Default 64.
+func WithQueueDepth(n int) Option { return func(c *config) { c.queueDepth = n } }
+
+// WithBatchWindow sets how long the first queued SSSP source waits for
+// more sources before its batch is cut. Zero (the default) disables
+// time-based batching: every SSSP runs immediately with batch size 1.
+func WithBatchWindow(d time.Duration) Option { return func(c *config) { c.batchWindow = d } }
+
+// WithBatchMax caps the sources per batched SSSP run; a batch reaching
+// the cap is cut before the window expires. Default 8.
+func WithBatchMax(n int) Option { return func(c *config) { c.batchMax = n } }
+
+// WithNJobs sets the engine's compute parallelism per run
+// (core.Options.PhysicalWorkers); 0 uses GOMAXPROCS.
+func WithNJobs(n int) Option { return func(c *config) { c.njobs = n } }
+
+// WithDeadline force-finishes each query's engine run after d,
+// returning the partial result with a context.DeadlineExceeded error
+// (core.Options.Deadline semantics). Zero disables.
+func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline = d } }
+
+// WithMode selects the engine's parallel model; default AAP.
+func WithMode(m core.Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithStaleness sets the engine staleness bound for query runs.
+func WithStaleness(n int) Option { return func(c *config) { c.staleness = n } }
+
+// WithPageRankTol sets the PageRank query convergence tolerance;
+// default 1e-8.
+func WithPageRankTol(tol float64) Option { return func(c *config) { c.pagerankTol = tol } }
+
+// WithCF enables the recommendation path: the Server's graph is a
+// bipartite rating graph (users then products, gen.Bipartite layout)
+// and the first Recommend call trains latent factors once with cfg.
+func WithCF(cfg cf.Config) Option { return func(c *config) { c.cfConfig = &cfg } }
+
+// WithCFStaleness sets the staleness bound of the one-time CF training
+// run (distributed SGD wants bounded staleness under AAP). Default 4.
+func WithCFStaleness(n int) Option { return func(c *config) { c.cfStaleness = n } }
+
+// WithLogger makes the Server log one line per completed query (name,
+// latency, queue wait, batch size, arena bytes, scanned edges).
+func WithLogger(l *log.Logger) Option { return func(c *config) { c.logger = l } }

@@ -1,0 +1,160 @@
+package serve
+
+// End-to-end RPC tests over loopback TCP: concurrent clients issuing
+// mixed queries against one hosted Session, results identical to
+// in-process serving.
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aap/internal/algo/cf"
+	"aap/internal/algo/sssp"
+	"aap/internal/core"
+	"aap/internal/gen"
+	"aap/internal/graph"
+)
+
+// TestRPCServesMixedQueries: two clients over one serving plane, SSSP /
+// CC / PageRank / Stats, all answers matching dedicated engine runs.
+func TestRPCServesMixedQueries(t *testing.T) {
+	g := gen.PowerLaw(400, 5, 2.1, true, 37)
+	p := buildPartition(t, g, 2)
+	srv := New(p, WithBatchWindow(5*time.Millisecond), WithBatchMax(4))
+	rs, err := ListenRPC(srv, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	c1, err := DialRPC(rs.Addr(), 101, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := DialRPC(rs.Addr(), 102, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	sources := []graph.VertexID{0, 1, 2, 3, 4, 5}
+	want := make([][]float64, len(sources))
+	for i, src := range sources {
+		res, err := core.Run(p, sssp.Job(src), core.Options{Mode: core.AAP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Values
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(sources)+2)
+	got := make([][]float64, len(sources))
+	metas := make([]QueryMeta, len(sources))
+	for i, src := range sources {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := c1
+			if i%2 == 1 {
+				c = c2
+			}
+			got[i], metas[i], errs[i] = c.SSSP(src)
+		}()
+	}
+	var labels []int64
+	var ranks []float64
+	wg.Add(2)
+	go func() { defer wg.Done(); labels, _, errs[len(sources)] = c1.CC() }()
+	go func() { defer wg.Done(); ranks, _, errs[len(sources)+1] = c2.PageRank() }()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := range sources {
+		if metas[i].BatchSize <= 0 || metas[i].Seconds <= 0 {
+			t.Fatalf("source %d: meta not stamped: %+v", sources[i], metas[i])
+		}
+		for v := range want[i] {
+			if math.Float64bits(got[i][v]) != math.Float64bits(want[i][v]) {
+				t.Fatalf("rpc sssp src=%d vertex %d: %v != %v", sources[i], v, got[i][v], want[i][v])
+			}
+		}
+	}
+	if len(labels) != g.NumVertices() || len(ranks) != g.NumVertices() {
+		t.Fatalf("cc/pagerank shapes: %d, %d", len(labels), len(ranks))
+	}
+
+	ids, err := c1.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != g.NumVertices() {
+		t.Fatalf("ids length %d, want %d", len(ids), g.NumVertices())
+	}
+	for v, id := range ids {
+		if id != int64(p.G.IDOf(int32(v))) {
+			t.Fatalf("ids[%d] = %d, want %d", v, id, p.G.IDOf(int32(v)))
+		}
+	}
+
+	st, err := c1.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admitted counts engine runs: the SSSP queries coalesce into
+	// st.Batches runs, CC and PageRank are one run each.
+	if st.BatchedQueries != int64(len(sources)) || st.Completed != st.Batches+2 || st.Active != 0 {
+		t.Fatalf("server stats: %+v", st)
+	}
+}
+
+// TestRPCRecommendAndErrors: the CF path over the wire, plus error
+// propagation for unconfigured and malformed requests.
+func TestRPCRecommendAndErrors(t *testing.T) {
+	const users, products = 80, 20
+	r := gen.Bipartite(users, products, 6, 4, 1.0, 3)
+	p := buildPartition(t, r.G, 2)
+	srv := New(p, WithCF(cf.Config{Users: users, Products: products, Rank: 4, Epochs: 6, Seed: 9}))
+	rs, err := ListenRPC(srv, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	c, err := DialRPC(rs.Addr(), 7, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	recs, meta, err := c.Recommend(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d recs", len(recs))
+	}
+	local, _, err := srv.Recommend(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if recs[i] != local[i] {
+			t.Fatalf("rpc recs diverge from local: %v vs %v", recs, local)
+		}
+	}
+	if meta.Seconds < 0 {
+		t.Fatalf("meta: %+v", meta)
+	}
+
+	if _, _, err := c.Recommend(-5, 3); err == nil || !strings.Contains(err.Error(), "user") {
+		t.Fatalf("bad-user error not propagated: %v", err)
+	}
+}
